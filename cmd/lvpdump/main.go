@@ -1,0 +1,104 @@
+// Command lvpdump disassembles a built benchmark (or an assembled .s file):
+// the code listing with labels resolved, plus the data-symbol map. A
+// debugging aid for workload authors.
+//
+// Usage:
+//
+//	lvpdump -bench grep -target ppc | less
+//	lvpdump -asm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lvp/internal/asm"
+	"lvp/internal/bench"
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to dump")
+		asmFile   = flag.String("asm", "", "assembly file to dump instead")
+		target    = flag.String("target", "ppc", "codegen target: ppc or axp")
+		scale     = flag.Int("scale", 1, "benchmark scale")
+	)
+	flag.Parse()
+
+	tg, err := prog.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+	var p *prog.Program
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = asm.Assemble(*asmFile, string(src), tg); err != nil {
+			fatal(err)
+		}
+	case *benchName != "":
+		b, err := bench.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = b.Build(tg, *scale); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "lvpdump: need -bench or -asm")
+		os.Exit(2)
+	}
+
+	// Invert the label map for listing.
+	labelsAt := map[uint64][]string{}
+	for name, pc := range p.Funcs {
+		labelsAt[pc] = append(labelsAt[pc], name)
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
+	}
+
+	fmt.Printf("; program %s (%s target), %d instructions, %d data bytes\n\n",
+		p.Name, p.Target.Name, len(p.Code), dataSize(p))
+	for i, in := range p.Code {
+		pc := prog.CodeBase + uint64(i)*isa.InstBytes
+		for _, l := range labelsAt[pc] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  %06x:  %s\n", pc, in.String())
+	}
+
+	fmt.Printf("\n; data symbols\n")
+	type sym struct {
+		name string
+		addr uint64
+	}
+	var syms []sym
+	for name, addr := range p.Symbols {
+		syms = append(syms, sym{name, addr})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	for _, s := range syms {
+		fmt.Printf("  %06x  %s\n", s.addr, s.name)
+	}
+}
+
+func dataSize(p *prog.Program) int {
+	n := 0
+	for _, seg := range p.Data {
+		n += len(seg)
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvpdump:", err)
+	os.Exit(1)
+}

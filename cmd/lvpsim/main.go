@@ -1,0 +1,291 @@
+// Command lvpsim regenerates the tables and figures of "Value Locality and
+// Load Value Prediction" (ASPLOS 1996) from the built-in benchmark suite.
+//
+// Usage:
+//
+//	lvpsim -exp all            # every table and figure
+//	lvpsim -exp fig6 -scale 2  # one experiment at double run length
+//	lvpsim -list               # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"lvp/internal/exp"
+	"lvp/internal/report"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(s *exp.Suite, w io.Writer) error
+}
+
+var experiments = []experiment{
+	{"table1", "benchmark descriptions and dynamic counts", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Table1()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"fig1", "load value locality, depth 1 and 16, both targets", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure1()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"fig2", "PowerPC value locality by data type", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure2()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"table2", "LVP unit configurations", func(s *exp.Suite, w io.Writer) error {
+		exp.Table2(w)
+		return nil
+	}},
+	{"table3", "LCT hit rates", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"table4", "constant identification rates", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"table5", "instruction latencies", func(s *exp.Suite, w io.Writer) error {
+		exp.Table5(w)
+		return nil
+	}},
+	{"fig6", "base machine model speedups", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure6()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"table6", "PowerPC 620+ speedups", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Table6()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"fig7", "load verification latency distribution", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure7()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"fig8", "dependency resolution latencies by FU", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"fig9", "L1 bank conflict rates", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Figure9()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"lvptsweep", "ablation: LVPT size vs coverage", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.LVPTSweep(nil)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"lctsweep", "ablation: LCT counter width", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.LCTBitsSweep(nil)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"cvusweep", "ablation: CVU capacity", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.CVUSweep(nil)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"predictors", "extension: stride/context predictors (paper §7)", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.PredictorStudy()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"gvl", "extension: general value locality, all results (paper §7)", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.GeneralValueLocality()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"pathlvp", "extension: branch-history-indexed LVPT (paper §7)", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.PathLVPStudy(nil)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"mafablation", "ablation: 21164 blocking vs non-blocking misses", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.MAFAblation()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"limits", "limit study: dataflow critical-path speedups", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.DataflowLimits()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"machines", "diagnostics: baseline machine behaviour", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Machines()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"resourcesweep", "ablation: which 620 resource binds", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.ResourceSweep()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"gvp", "extension: general value prediction on the 620 (paper §7)", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.GVPStudy()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+	{"stalls", "diagnostics: 620 dispatch-stall breakdown", func(s *exp.Suite, w io.Writer) error {
+		r, err := s.Stalls()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	}},
+}
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
+		scale   = flag.Int("scale", 1, "benchmark run-length multiplier")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		timing  = flag.Bool("time", false, "print wall time per experiment")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	switch *format {
+	case "text":
+	case "csv":
+		report.ActiveFormat = report.FormatCSV
+	default:
+		fmt.Fprintf(os.Stderr, "lvpsim: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-11s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	switch *expFlag {
+	case "all":
+		for _, e := range experiments {
+			want[e.name] = true
+		}
+	case "paper":
+		for _, e := range experiments {
+			switch {
+			case strings.Contains(e.name, "sweep"),
+				strings.Contains(e.name, "ablation"),
+				e.name == "predictors", e.name == "gvl", e.name == "pathlvp",
+				e.name == "limits", e.name == "machines", e.name == "gvp",
+				e.name == "stalls":
+				// extensions: only under -exp all
+			default:
+				want[e.name] = true
+			}
+		}
+	default:
+		for _, name := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	s := exp.NewSuite(*scale)
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(s, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "[%s: %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+		delete(want, e.name)
+	}
+	for name := range want {
+		fmt.Fprintf(os.Stderr, "lvpsim: unknown experiment %q (use -list)\n", name)
+		os.Exit(2)
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "lvpsim: nothing to run (use -list)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen builds a benchmark, executes it functionally, and writes
+// its dynamic instruction trace in the VLT1 binary format — the counterpart
+// of the paper's TRIP6000/ATOM tracing step (§5).
+//
+// Usage:
+//
+//	tracegen -bench grep -target ppc -scale 1 -o grep.ppc.vlt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvp/internal/bench"
+	"lvp/internal/prog"
+	"lvp/internal/trace"
+	"lvp/internal/vm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name (see -list)")
+		target    = flag.String("target", "ppc", "codegen target: ppc or axp")
+		scale     = flag.Int("scale", 1, "run-length multiplier")
+		out       = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+	if *benchName == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench is required (use -list)")
+		os.Exit(2)
+	}
+	tg, err := prog.TargetByName(*target)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := b.Build(tg, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	t, res, err := vm.Run(p, 0)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.%s.vlt", *benchName, tg.Name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(f, t); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	sum := t.Summarize()
+	fmt.Printf("wrote %s: %d instructions, %d loads, %d outputs\n",
+		path, sum.Instructions, sum.Loads, len(res.Output))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command traceinfo summarises a VLT1 trace file: dynamic instruction mix,
+// load-class breakdown, value locality at depths 1 and 16, and LVP unit
+// behaviour under the paper's configurations.
+//
+// Usage:
+//
+//	traceinfo grep.ppc.vlt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvp/internal/isa"
+	"lvp/internal/locality"
+	"lvp/internal/lvp"
+	"lvp/internal/report"
+	"lvp/internal/stats"
+	"lvp/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo <file.vlt>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	sum := t.Summarize()
+
+	mix := report.Table{
+		Title:   fmt.Sprintf("Trace %s/%s", t.Name, t.Target),
+		Columns: []string{"Metric", "Value"},
+	}
+	mix.AddRow("instructions", sum.Instructions)
+	mix.AddRow("loads", sum.Loads)
+	mix.AddRow("stores", sum.Stores)
+	mix.AddRow("branches", sum.Branches)
+	mix.AddRow("cond taken rate", stats.Pct(sum.TakenRate, 1))
+	for c := isa.LoadClass(1); c < isa.NumLoadClasses; c++ {
+		mix.AddRow("loads: "+c.String(), sum.LoadsByClass[c])
+	}
+	mix.Render(os.Stdout)
+
+	loc := locality.Measure(t, locality.DefaultEntries, 1, 16)
+	lt := report.Table{
+		Title:   "Value locality",
+		Columns: []string{"Depth", "Overall", "FP", "Int", "InstAddr", "DataAddr"},
+	}
+	for _, r := range loc {
+		lt.AddRow(r.Depth,
+			stats.Pct(r.Overall.Percent()/100, 1),
+			stats.Pct(r.ByClass[isa.LoadFPData].Percent()/100, 1),
+			stats.Pct(r.ByClass[isa.LoadIntData].Percent()/100, 1),
+			stats.Pct(r.ByClass[isa.LoadInstAddr].Percent()/100, 1),
+			stats.Pct(r.ByClass[isa.LoadDataAddr].Percent()/100, 1))
+	}
+	lt.Render(os.Stdout)
+
+	ut := report.Table{
+		Title:   "LVP unit behaviour",
+		Columns: []string{"Config", "Coverage", "Accuracy", "Constants"},
+	}
+	for _, cfg := range lvp.Configs {
+		_, st, err := lvp.Annotate(t, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ut.AddRow(cfg.Name, stats.Pct(st.Coverage(), 1),
+			stats.Pct(st.Accuracy(), 1), stats.Pct(st.ConstantRate(), 1))
+	}
+	ut.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

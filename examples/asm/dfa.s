@@ -1,0 +1,26 @@
+; dfa.s — the paper's grep-style hot loop, in VLR assembly: a DFA scan whose
+; state-transition load forms a serial, mostly-predictable dependence chain.
+;
+;   go run ./cmd/lvpasm -analyze examples/asm/dfa.s
+;   go run ./cmd/lvpdump -asm examples/asm/dfa.s
+;
+.words64 tab 5, 5, 5, 5, 9, 5, 5, 5
+.zeros   hits 8
+
+main:
+    la   s0, tab !daddr
+    la   s1, hits !daddr
+    li   s2, 0            ; index
+    li   s3, 0            ; sum
+    li   s4, 20000        ; iterations
+loop:
+    andi t0, s2, 7
+    shli t0, t0, 3
+    add  t0, t0, s0
+    ld   t1, 0(t0)        ; mostly 5: high value locality
+    add  s3, s3, t1
+    addi s2, s2, 1
+    blt  s2, s4, loop
+    sd   s3, 0(s1)
+    out  s3
+    ret

@@ -1,0 +1,57 @@
+// Machinesweep: run one benchmark through every LVP configuration on all
+// three machine models (620, 620+, 21164) and print the speedup matrix —
+// a single-benchmark slice of the paper's Figure 6 and Table 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"lvp"
+)
+
+func main() {
+	name := flag.String("bench", "xlisp", "benchmark to sweep")
+	scale := flag.Int("scale", 1, "run-length multiplier")
+	flag.Parse()
+
+	// The 620 models consume PPC-target traces; the 21164 consumes AXP
+	// traces (the paper's AIX/OSF split).
+	ppcTrace, err := lvp.BuildTrace(*name, lvp.PPC, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	axpTrace, err := lvp.BuildTrace(*name, lvp.AXP, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base620 := lvp.Simulate620(ppcTrace, nil, "")
+	basePlus := lvp.Simulate620Plus(ppcTrace, nil, "")
+	base164 := lvp.Simulate21164(axpTrace, nil, "")
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark %s\tPPC 620\tPPC 620+\tAXP 21164\n", *name)
+	fmt.Fprintf(w, "base IPC\t%.2f\t%.2f\t%.2f\n", base620.IPC(), basePlus.IPC(), base164.IPC())
+	for _, cfg := range lvp.Configs() {
+		ppcAnn, _, err := lvp.Annotate(ppcTrace, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		axpAnn, _, err := lvp.Annotate(axpTrace, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s620 := lvp.Simulate620(ppcTrace, ppcAnn, cfg.Name)
+		sPlus := lvp.Simulate620Plus(ppcTrace, ppcAnn, cfg.Name)
+		s164 := lvp.Simulate21164(axpTrace, axpAnn, cfg.Name)
+		fmt.Fprintf(w, "%s speedup\t%.3f\t%.3f\t%.3f\n", cfg.Name,
+			float64(base620.Cycles)/float64(s620.Cycles),
+			float64(basePlus.Cycles)/float64(sPlus.Cycles),
+			float64(base164.Cycles)/float64(s164.Cycles))
+	}
+	w.Flush()
+}

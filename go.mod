@@ -1,0 +1,3 @@
+module lvp
+
+go 1.24

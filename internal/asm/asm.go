@@ -1,0 +1,415 @@
+// Package asm is a textual assembler for the VLR ISA, so workloads can be
+// written as .s files and driven through the tracing/prediction/timing
+// pipeline without writing Go against the program builder.
+//
+// Syntax (one statement per line; ';' or '#' start a comment):
+//
+//	.bytes   name "text with \n escapes"     data directives
+//	.zeros   name 64
+//	.words64 name 1, 2, -3
+//	.words32 name 1, 2
+//	.wordsptr name 0, 1, 2                   pointer-width words
+//	.float64 name 0.5, 1.25
+//	.ptrtable name code c0, c1               table of code/data addresses
+//	.ptrtable name data sym1, sym2
+//
+//	main:                                    labels
+//	    li    a0, 42                         register-immediate forms
+//	    addi  a0, a0, 1
+//	    add   a0, a0, t1                     three-register forms
+//	    lw    t0, 8(gp) !daddr               loads: optional !int !fp
+//	    sd    t0, 0(sp)                      !iaddr !daddr class tag
+//	    beq   t0, zero, done                 branches take labels
+//	    call  helper                         pseudo: jal ra, helper
+//	    j     main                           pseudo: jal zero, main
+//	    ret                                  pseudo: jalr zero, ra, 0
+//	    mv    t1, t0                         pseudo: or t1, t0, zero
+//	    la    t2, name                       pseudo: GOT data-address load
+//	    laf   t3, func                       pseudo: GOT function-address load
+//	    lcf   f0, 2.5                        pseudo: FP constant-pool load
+//	    out   a0
+//	    halt
+//
+// Registers accept numeric (r0-r31, f0-f31) and ABI names (zero, at, sp,
+// gp, a0-a5, t0-t9, s0-s10, ra; fa0-3, ft0-7, fs0-7).
+//
+// The assembler targets the same prog.Builder used by the benchmark suite,
+// so programs get the standard startup stub and must define "main" (ending
+// in `ret` or `halt`).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+// Assemble parses src and returns the linked program.
+func Assemble(name, src string, target prog.Target) (*prog.Program, error) {
+	a := &assembler{b: prog.New(name, target)}
+	for ln, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	return a.b.Build()
+}
+
+type assembler struct {
+	b *prog.Builder
+}
+
+func (a *assembler) line(raw string) error {
+	// Strip comments (respecting string literals).
+	line := stripComment(raw)
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 || strings.ContainsAny(line[:i], " \t\"(") {
+			break
+		}
+		a.b.Label(strings.TrimSpace(line[:i]))
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	return a.instruction(line)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+		case !inStr && (s[i] == ';' || s[i] == '#'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// --- directives ---
+
+func (a *assembler) directive(line string) error {
+	fields := splitOperands(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("directive needs a name: %q", line)
+	}
+	dir, name := fields[0], fields[1]
+	args := fields[2:]
+	switch dir {
+	case ".bytes":
+		if len(args) != 1 || !strings.HasPrefix(args[0], "\"") {
+			return fmt.Errorf(".bytes wants a quoted string")
+		}
+		str, err := strconv.Unquote(args[0])
+		if err != nil {
+			return fmt.Errorf("bad string literal: %w", err)
+		}
+		a.b.Bytes(name, []byte(str))
+	case ".zeros":
+		n, err := parseInt(argOne(args))
+		if err != nil {
+			return err
+		}
+		a.b.Zeros(name, int(n))
+	case ".words64", ".words32", ".wordsptr":
+		vals, err := parseInts(args)
+		if err != nil {
+			return err
+		}
+		switch dir {
+		case ".words64":
+			a.b.Words64(name, vals)
+		case ".words32":
+			w := make([]int32, len(vals))
+			for i, v := range vals {
+				w[i] = int32(v)
+			}
+			a.b.Words32(name, w)
+		default:
+			a.b.WordsPtr(name, vals)
+		}
+	case ".float64":
+		fs := make([]float64, len(args))
+		for i, s := range args {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("bad float %q: %w", s, err)
+			}
+			fs[i] = f
+		}
+		a.b.Floats64(name, fs)
+	case ".ptrtable":
+		if len(args) < 1 {
+			return fmt.Errorf(".ptrtable wants code|data plus labels")
+		}
+		var isCode bool
+		switch args[0] {
+		case "code":
+			isCode = true
+		case "data":
+		default:
+			return fmt.Errorf(".ptrtable kind must be code or data, got %q", args[0])
+		}
+		a.b.PtrTable(name, args[1:], isCode)
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	return nil
+}
+
+func argOne(args []string) string {
+	if len(args) == 1 {
+		return args[0]
+	}
+	return ""
+}
+
+// --- instructions ---
+
+func (a *assembler) instruction(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	ops := splitOperands(rest)
+
+	// Load-class tag (!int/!fp/!iaddr/!daddr on memory operands).
+	class := isa.LoadNone
+	if n := len(ops); n > 0 && strings.HasPrefix(ops[n-1], "!") {
+		switch ops[n-1] {
+		case "!int":
+			class = isa.LoadIntData
+		case "!fp":
+			class = isa.LoadFPData
+		case "!iaddr":
+			class = isa.LoadInstAddr
+		case "!daddr":
+			class = isa.LoadDataAddr
+		default:
+			return fmt.Errorf("unknown load class %q", ops[n-1])
+		}
+		ops = ops[:n-1]
+	}
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("call wants a label")
+		}
+		a.b.Call(ops[0])
+		return nil
+	case "j":
+		if len(ops) != 1 {
+			return fmt.Errorf("j wants a label")
+		}
+		a.b.Jump(ops[0])
+		return nil
+	case "ret":
+		a.b.Ret()
+		return nil
+	case "mv":
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Mv(rd, rs)
+		return nil
+	case "la", "laf":
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("%s wants a register and a symbol", mnemonic)
+		}
+		if mnemonic == "la" {
+			a.b.GotData(rd, ops[1])
+		} else {
+			a.b.GotFunc(rd, ops[1])
+		}
+		return nil
+	case "lcf":
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("lcf wants a register and a float")
+		}
+		f, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float %q: %w", ops[1], err)
+		}
+		a.b.LoadConstF(rd, f)
+		return nil
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown instruction %q", mnemonic)
+	}
+
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		a.b.Emit(isa.Inst{Op: op})
+	case op == isa.OUT:
+		ra, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		a.b.Out(ra)
+	case op == isa.LI:
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		imm, err := immAt(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Li(rd, imm)
+	case isa.IsLoad(op):
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(ops, 1)
+		if err != nil {
+			return err
+		}
+		if class == isa.LoadNone {
+			if isa.IsFPLoad(op) {
+				class = isa.LoadFPData
+			} else {
+				class = isa.LoadIntData
+			}
+		}
+		a.b.Load(op, rd, base, off, class)
+	case isa.IsStore(op):
+		rb, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Store(op, rb, base, off)
+	case isa.IsCondBranch(op):
+		ra, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(ops, 1)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 3 {
+			return fmt.Errorf("%s wants two registers and a label", mnemonic)
+		}
+		a.b.Branch(op, ra, rb, ops[2])
+	case op == isa.JAL:
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("jal wants a register and a label")
+		}
+		if rd == prog.RA {
+			a.b.Call(ops[1])
+		} else if rd == prog.Zero {
+			a.b.Jump(ops[1])
+		} else {
+			return fmt.Errorf("jal link register must be ra or zero")
+		}
+	case op == isa.JALR:
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(ops, 1)
+		if err != nil {
+			// Also accept "jalr rd, ra" without offset syntax.
+			base2, err2 := reg(ops, 1)
+			if err2 != nil {
+				return err
+			}
+			off, base = 0, base2
+		}
+		a.b.Emit(isa.Inst{Op: isa.JALR, Rd: rd, Ra: base, Imm: off})
+	case immediateForm(op):
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(ops, 1)
+		if err != nil {
+			return err
+		}
+		imm, err := immAt(ops, 2)
+		if err != nil {
+			return err
+		}
+		a.b.OpI(op, rd, ra, imm)
+	case unaryForm(op):
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: op, Rd: rd, Ra: ra})
+	default: // three-register form
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(ops, 1)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(ops, 2)
+		if err != nil {
+			return err
+		}
+		a.b.Op3(op, rd, ra, rb)
+	}
+	return nil
+}
+
+func immediateForm(op isa.Op) bool {
+	switch op {
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SRAI, isa.SLTI:
+		return true
+	}
+	return false
+}
+
+func unaryForm(op isa.Op) bool {
+	switch op {
+	case isa.FNEG, isa.FABS, isa.FMOV, isa.FSQRT,
+		isa.CVTIF, isa.CVTFI, isa.MOVIF, isa.MOVFI:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+// splitOperands splits on commas and whitespace, keeping quoted strings and
+// parenthesised memory operands intact.
+func splitOperands(s string) []string {
+	var out []string
+	var cur strings.Builder
+	depth, inStr := 0, false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+			cur.WriteByte(c)
+		case inStr:
+			cur.WriteByte(c)
+		case c == '(':
+			depth++
+			cur.WriteByte(c)
+		case c == ')':
+			depth--
+			cur.WriteByte(c)
+		case depth == 0 && (c == ',' || c == ' ' || c == '\t'):
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// regNames maps ABI and numeric register names to register numbers. FP
+// registers share the numeric space (the opcode selects the file).
+var regNames = map[string]isa.Reg{
+	"zero": prog.Zero, "at": prog.AT, "sp": prog.SP, "gp": prog.GP,
+	"ra": prog.RA,
+	"a0": prog.A0, "a1": prog.A1, "a2": prog.A2, "a3": prog.A3,
+	"a4": prog.A4, "a5": prog.A5,
+	"t0": prog.T0, "t1": prog.T1, "t2": prog.T2, "t3": prog.T3,
+	"t4": prog.T4, "t5": prog.T5, "t6": prog.T6, "t7": prog.T7,
+	"t8": prog.T8, "t9": prog.T9,
+	"s0": prog.S0, "s1": prog.S1, "s2": prog.S2, "s3": prog.S3,
+	"s4": prog.S4, "s5": prog.S5, "s6": prog.S6, "s7": prog.S7,
+	"s8": prog.S8, "s9": prog.S9, "s10": prog.S10,
+	"fa0": prog.FA0, "fa1": prog.FA1, "fa2": prog.FA2, "fa3": prog.FA3,
+	"ft0": prog.FT0, "ft1": prog.FT1, "ft2": prog.FT2, "ft3": prog.FT3,
+	"ft4": prog.FT4, "ft5": prog.FT5, "ft6": prog.FT6, "ft7": prog.FT7,
+	"fs0": prog.FS0, "fs1": prog.FS1, "fs2": prog.FS2, "fs3": prog.FS3,
+	"fs4": prog.FS4, "fs5": prog.FS5, "fs6": prog.FS6, "fs7": prog.FS7,
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if r, ok := regNames[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'f') {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func reg(ops []string, i int) (isa.Reg, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	return parseReg(ops[i])
+}
+
+func parseInt(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing integer")
+	}
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil // character literal
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+func parseInts(args []string) ([]int64, error) {
+	out := make([]int64, len(args))
+	for i, s := range args {
+		v, err := parseInt(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func immAt(ops []string, i int) (int64, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing immediate operand %d", i+1)
+	}
+	return parseInt(ops[i])
+}
+
+// memOperand parses "off(base)" or "(base)".
+func memOperand(ops []string, i int) (off int64, base isa.Reg, err error) {
+	if i >= len(ops) {
+		return 0, 0, fmt.Errorf("missing memory operand")
+	}
+	s := ops[i]
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want off(reg))", s)
+	}
+	if open > 0 {
+		off, err = parseInt(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return off, base, err
+}

@@ -1,0 +1,80 @@
+// Package bench provides the benchmark suite: seventeen synthetic workloads,
+// one per benchmark in the paper's Table 1, written in the VLR ISA via the
+// prog builder.
+//
+// The paper traced SPEC92/95 binaries and common Unix utilities; those
+// binaries and their reference compilers are not reproducible here, so each
+// workload is a from-scratch program engineered to perform the same *kind*
+// of computation and, crucially, to exhibit the same code-generation idioms
+// the paper identifies as the sources of load value locality (§2): constant
+// pool loads, GOT/TOC addressing, callee-save/link-register restores,
+// register spills, alias re-loads, switch tables, virtual dispatch,
+// error-check flags, and redundant input data. Workloads known in the paper
+// to have poor value locality (cjpeg, swm256, tomcatv) are built around
+// always-changing data so their loads genuinely do not recur.
+//
+// All inputs are generated with a fixed-seed PRNG at build time and baked
+// into the program image, so every run is bit-for-bit deterministic.
+package bench
+
+import (
+	"fmt"
+
+	"lvp/internal/prog"
+)
+
+// Benchmark is one synthetic workload.
+type Benchmark struct {
+	// Name matches the paper's benchmark name (e.g. "grep").
+	Name string
+	// Description summarises the computation, mirroring paper Table 1.
+	Description string
+	// Input describes the synthetic input, mirroring paper Table 1.
+	Input string
+	// FP reports whether this is a floating-point benchmark.
+	FP bool
+	// Build constructs the program for a target at the given scale.
+	// Scale 1 is the default run length (roughly 10^5 dynamic
+	// instructions); larger scales grow the input/iteration counts
+	// roughly linearly.
+	Build func(t prog.Target, scale int) (*prog.Program, error)
+}
+
+var all []Benchmark
+
+func register(b Benchmark) {
+	all = append(all, b)
+}
+
+// All returns the full suite in the paper's (alphabetical) reporting order.
+func All() []Benchmark {
+	out := make([]Benchmark, len(all))
+	copy(out, all)
+	return out
+}
+
+// Names returns the benchmark names in reporting order.
+func Names() []string {
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range all {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "cc1",
+		Description: "compiler front end: lexer, symbol interning, pattern counting (GCC 1.35 analogue)",
+		Input:       "synthetic C-like source, 4 KiB",
+		Build: func(t prog.Target, scale int) (*prog.Program, error) {
+			return buildCC("cc1", 808, 4096, 1, t, scale)
+		},
+	})
+	register(Benchmark{
+		Name:        "cc1-271",
+		Description: "compiler front end with an extra folding pass (GCC 2.7.1 analogue)",
+		Input:       "synthetic C-like source, 6 KiB",
+		Build: func(t prog.Target, scale int) (*prog.Program, error) {
+			return buildCC("cc1-271", 909, 6144, 2, t, scale)
+		},
+	})
+}
+
+// Token kinds produced by the lexer.
+const (
+	tokEOF = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokKeyword
+	numTokKinds
+)
+
+// Character classes for the lexer's classification table.
+const (
+	ccSpace = iota
+	ccAlpha
+	ccDigit
+	ccPunct
+)
+
+// makeSource synthesises C-like source text.
+func makeSource(r *rng, n int) []byte {
+	keywords := []string{"int", "if", "for", "return", "while", "else"}
+	punct := []byte{'+', '-', '*', '/', ';', '(', ')', '{', '}', '=', '<', '>'}
+	var out []byte
+	for len(out) < n {
+		switch r.intn(10) {
+		case 0, 1:
+			out = append(out, keywords[r.intn(len(keywords))]...)
+		case 2, 3, 4:
+			// identifier from a smallish set (real code reuses names)
+			out = append(out, byte('a'+r.intn(26)))
+			if r.intn(2) == 0 {
+				out = append(out, byte('0'+r.intn(10)))
+			}
+		case 5, 6:
+			out = appendInt(out, r.intn(10000))
+		default:
+			out = append(out, punct[r.intn(len(punct))])
+		}
+		if r.intn(8) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+// buildCC is the shared compiler-front-end engine. passes selects how many
+// times the token stream is re-walked by the folding phase (cc1-271 does an
+// extra pass, standing in for the -O pipeline differences).
+func buildCC(name string, seed uint64, size, passes int, t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New(name, t)
+	r := newRNG(seed + targetSalt(t.Name))
+	src := makeSource(r, size*scale)
+	b.Bytes("src", src)
+
+	// Character classification table: the canonical lexer idiom. These
+	// loads hit a 128-entry constant table — extreme value locality.
+	classTab := make([]byte, 128)
+	for c := 0; c < 128; c++ {
+		switch {
+		case c == ' ' || c == '\n' || c == '\t':
+			classTab[c] = ccSpace
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_':
+			classTab[c] = ccAlpha
+		case c >= '0' && c <= '9':
+			classTab[c] = ccDigit
+		default:
+			classTab[c] = ccPunct
+		}
+	}
+	b.Bytes("classtab", classTab)
+
+	const symtabSize = 512 // power of two
+	b.Zeros("symkeys", symtabSize*8)
+	// Worst case one token per source byte.
+	b.Zeros("tokkinds", (len(src)+64)*8)
+	b.Zeros("errflag", 8)
+
+	// main: lex the whole source, interning identifiers and recording
+	// token kinds; then `passes` folding passes count operator patterns.
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5, prog.S6)
+	f.MarkPtr(prog.S0, prog.S3, prog.S4)
+	b.GotData(prog.S0, "src")
+	b.MaterializeInt(prog.S1, int64(len(src)))
+	b.Li(prog.S2, 0) // cursor
+	b.GotData(prog.S3, "tokkinds")
+	b.Li(prog.S5, 0) // token count
+	b.Li(prog.S6, 0) // ident-intern checksum
+	lexloop, lexdone := b.NewLabel("lexloop"), b.NewLabel("lexdone")
+	b.Label(lexloop)
+	b.Branch(isa.BGE, prog.S2, prog.S1, lexdone)
+	b.Op3(isa.ADD, prog.A0, prog.S0, prog.S2)
+	b.Call("nextToken") // A0 = kind, A1 = consumed, A2(=T9 by convention) via vars
+	// record kind
+	b.OpI(isa.SHLI, prog.T0, prog.S5, 3)
+	b.Op3(isa.ADD, prog.T0, prog.T0, prog.S3)
+	b.Store(isa.SD, prog.A0, prog.T0, 0)
+	b.Op3(isa.ADD, prog.S2, prog.S2, prog.A1)
+	b.OpI(isa.ADDI, prog.S5, prog.S5, 1)
+	// intern identifiers: hash in A2? nextToken returns hash in A2.
+	notIdent := b.NewLabel("notident")
+	b.OpI(isa.SLTI, prog.T1, prog.A0, tokIdent+1)
+	b.Branch(isa.BEQ, prog.T1, prog.Zero, notIdent) // kind > tokIdent
+	b.OpI(isa.SLTI, prog.T1, prog.A0, tokIdent)
+	b.Branch(isa.BNE, prog.T1, prog.Zero, notIdent) // kind < tokIdent
+	b.Mv(prog.A0, prog.A2)
+	b.Call("intern")
+	b.Op3(isa.ADD, prog.S6, prog.S6, prog.A0)
+	b.Label(notIdent)
+	b.Jump(lexloop)
+	b.Label(lexdone)
+
+	// Folding passes: walk the token-kind stream counting
+	// number-punct-number triples (constant-foldable expressions).
+	b.Li(prog.S4, 0) // fold count accumulator
+	for p := 0; p < passes; p++ {
+		b.Li(prog.S2, 2) // index
+		floop, fdone := b.NewLabel("floop"), b.NewLabel("fdone")
+		b.Label(floop)
+		b.Branch(isa.BGE, prog.S2, prog.S5, fdone)
+		b.OpI(isa.SHLI, prog.T0, prog.S2, 3)
+		b.Op3(isa.ADD, prog.T0, prog.T0, prog.S3)
+		b.Load(isa.LD, prog.T1, prog.T0, 0, isa.LoadIntData)   // kind[i]
+		b.Load(isa.LD, prog.T2, prog.T0, -8, isa.LoadIntData)  // kind[i-1]
+		b.Load(isa.LD, prog.T3, prog.T0, -16, isa.LoadIntData) // kind[i-2]
+		skip := b.NewLabel("skipf")
+		b.OpI(isa.XORI, prog.T4, prog.T1, tokNumber)
+		b.Branch(isa.BNE, prog.T4, prog.Zero, skip)
+		b.OpI(isa.XORI, prog.T4, prog.T2, tokPunct)
+		b.Branch(isa.BNE, prog.T4, prog.Zero, skip)
+		b.OpI(isa.XORI, prog.T4, prog.T3, tokNumber)
+		b.Branch(isa.BNE, prog.T4, prog.Zero, skip)
+		b.OpI(isa.ADDI, prog.S4, prog.S4, 1)
+		b.Label(skip)
+		b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+		b.Jump(floop)
+		b.Label(fdone)
+	}
+	b.ErrorCheck("errflag", "ccfail")
+	b.Out(prog.S5) // token count
+	b.Out(prog.S6) // intern checksum
+	b.Out(prog.S4) // foldable patterns
+	f.Epilogue()
+
+	b.Label("ccfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// nextToken(A0 = ptr) -> A0 = kind, A1 = bytes consumed, A2 = ident hash.
+	// Uses the class table for every character.
+	g := b.Func("nextToken", 0, prog.S0, prog.S1, prog.S2)
+	g.MarkPtr(prog.S0, prog.S1)
+	b.Mv(prog.S0, prog.A0)
+	b.GotData(prog.S1, "classtab")
+	b.Li(prog.S2, 0) // consumed
+	b.Li(prog.A2, 0) // hash
+	skipws := b.NewLabel("skipws")
+	b.Label(skipws)
+	b.Op3(isa.ADD, prog.T0, prog.S0, prog.S2)
+	b.Load(isa.LBU, prog.T1, prog.T0, 0, isa.LoadIntData) // source char
+	b.OpI(isa.ANDI, prog.T1, prog.T1, 127)
+	b.Op3(isa.ADD, prog.T2, prog.S1, prog.T1)
+	b.Load(isa.LBU, prog.T3, prog.T2, 0, isa.LoadIntData) // class (constant table)
+	notspace := b.NewLabel("notspace")
+	b.Branch(isa.BNE, prog.T3, prog.Zero, notspace)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Jump(skipws)
+	b.Label(notspace)
+	// dispatch on class
+	isAlpha, isDigit, isPunct := b.NewLabel("alpha"), b.NewLabel("digit"), b.NewLabel("punct")
+	tdone := b.NewLabel("tdone")
+	b.OpI(isa.XORI, prog.T4, prog.T3, ccAlpha)
+	b.Branch(isa.BEQ, prog.T4, prog.Zero, isAlpha)
+	b.OpI(isa.XORI, prog.T4, prog.T3, ccDigit)
+	b.Branch(isa.BEQ, prog.T4, prog.Zero, isDigit)
+	b.Jump(isPunct)
+
+	scanClass := func(class int64, kind int64) {
+		// consume chars while classtab[ch] == class, hashing into A2
+		loop, done := b.NewLabel("scl"), b.NewLabel("scd")
+		b.Label(loop)
+		b.Op3(isa.ADD, prog.T0, prog.S0, prog.S2)
+		b.Load(isa.LBU, prog.T1, prog.T0, 0, isa.LoadIntData)
+		b.OpI(isa.ANDI, prog.T1, prog.T1, 127)
+		b.Op3(isa.ADD, prog.T2, prog.S1, prog.T1)
+		b.Load(isa.LBU, prog.T3, prog.T2, 0, isa.LoadIntData)
+		b.OpI(isa.XORI, prog.T4, prog.T3, class)
+		b.Branch(isa.BNE, prog.T4, prog.Zero, done)
+		b.Li(prog.T5, 31)
+		b.Op3(isa.MUL, prog.A2, prog.A2, prog.T5)
+		b.Op3(isa.ADD, prog.A2, prog.A2, prog.T1)
+		b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+		b.Jump(loop)
+		b.Label(done)
+		b.Li(prog.A0, kind)
+		b.Jump(tdone)
+	}
+	b.Label(isAlpha)
+	scanClass(ccAlpha, tokIdent)
+	b.Label(isDigit)
+	scanClass(ccDigit, tokNumber)
+	b.Label(isPunct)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Li(prog.A0, tokPunct)
+	b.Label(tdone)
+	b.Mv(prog.A1, prog.S2)
+	g.Epilogue()
+
+	// intern(A0 = hash) -> A0 = slot index. Open-addressing probe over
+	// symkeys; repeated identifiers hit the same slots (locality).
+	h := b.Func("intern", 0, prog.S0)
+	h.MarkPtr(prog.S0)
+	b.GotData(prog.S0, "symkeys")
+	b.OpI(isa.ADDI, prog.T0, prog.A0, 1) // key != 0
+	b.OpI(isa.ANDI, prog.T1, prog.T0, symtabSize-1)
+	probe, insert, found := b.NewLabel("iprobe"), b.NewLabel("iinsert"), b.NewLabel("ifound")
+	b.Label(probe)
+	b.OpI(isa.SHLI, prog.T2, prog.T1, 3)
+	b.Op3(isa.ADD, prog.T2, prog.T2, prog.S0)
+	b.Load(isa.LD, prog.T3, prog.T2, 0, isa.LoadIntData) // slot key
+	b.Branch(isa.BEQ, prog.T3, prog.Zero, insert)
+	b.Branch(isa.BEQ, prog.T3, prog.T0, found)
+	b.OpI(isa.ADDI, prog.T1, prog.T1, 1)
+	b.OpI(isa.ANDI, prog.T1, prog.T1, symtabSize-1)
+	b.Jump(probe)
+	b.Label(insert)
+	b.Store(isa.SD, prog.T0, prog.T2, 0)
+	b.Label(found)
+	b.Mv(prog.A0, prog.T1)
+	h.Epilogue()
+
+	return b.Build()
+}

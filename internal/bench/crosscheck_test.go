@@ -1,0 +1,297 @@
+package bench
+
+// Cross-validation: several workloads are re-implemented in plain Go on the
+// *identical* generated inputs, and the VLR programs' outputs must match
+// exactly. This pins the functional correctness of the builder, the VM and
+// the workload code all at once.
+
+import (
+	"testing"
+
+	"lvp/internal/prog"
+	"lvp/internal/vm"
+)
+
+func runBench(t *testing.T, name string, tg prog.Target) []uint64 {
+	t.Helper()
+	bm, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bm.Build(tg, 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := vm.Exec(p, testMaxSteps)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Output
+}
+
+func TestGawkMatchesGoReference(t *testing.T) {
+	const fields = 8
+	for _, tg := range prog.Targets {
+		text := makeNumberText(newRNG(202+targetSalt(tg.Name)), 220, fields)
+		// Reference: parse fields exactly as the VLR program does (skip
+		// non-digits, read digit runs, one terminator consumed).
+		var sums [fields]uint64
+		var zeros uint64
+		cursor, fieldIdx := 0, 0
+		at := func(i int) byte {
+			if i < len(text) {
+				return text[i]
+			}
+			return 0
+		}
+		for cursor < len(text) {
+			i := cursor
+			for at(i) < '0' {
+				i++
+			}
+			v := uint64(0)
+			for at(i) >= '0' && at(i) <= '9' {
+				v = v*10 + uint64(at(i)-'0')
+				i++
+			}
+			cursor = i + 1
+			sums[fieldIdx] += v
+			if v == 0 {
+				zeros++
+			}
+			fieldIdx = (fieldIdx + 1) % fields
+		}
+		out := runBench(t, "gawk", tg)
+		if len(out) != fields+1 {
+			t.Fatalf("%s: output len %d", tg.Name, len(out))
+		}
+		for i := 0; i < fields; i++ {
+			if out[i] != sums[i] {
+				t.Errorf("%s: fieldsum[%d] = %d, want %d", tg.Name, i, out[i], sums[i])
+			}
+		}
+		if out[fields] != zeros {
+			t.Errorf("%s: zero count = %d, want %d", tg.Name, out[fields], zeros)
+		}
+	}
+}
+
+func TestQuickSortsCorrectly(t *testing.T) {
+	for _, tg := range prog.Targets {
+		out := runBench(t, "quick", tg)
+		if out[0] != 1 {
+			t.Fatalf("%s: sortedness self-check failed", tg.Name)
+		}
+		// out[1] is arr[0] after sorting = the minimum of the input.
+		r := newRNG(707 + targetSalt(tg.Name))
+		n := 500 + 140
+		minV := uint64(1 << 62)
+		for i := 0; i < n; i++ {
+			v := uint64(r.intn(1 << 20))
+			if v < minV {
+				minV = v
+			}
+		}
+		if out[1] != minV {
+			t.Errorf("%s: sorted minimum = %d, want %d", tg.Name, out[1], minV)
+		}
+	}
+}
+
+func TestSCMatchesGoReference(t *testing.T) {
+	for _, tg := range prog.Targets {
+		// Rebuild the identical sheet and run the same recalc in Go.
+		r := newRNG(505 + targetSalt(tg.Name))
+		ncells := 800
+		type cell struct{ typ, val, a1, a2 int64 }
+		cells := make([]cell, 0, ncells)
+		for i := 0; i < ncells; i++ {
+			switch {
+			case i < 2 || r.intn(10) < 6:
+				cells = append(cells, cell{typ: scEmpty})
+			case r.intn(10) < 7:
+				cells = append(cells, cell{typ: scConst, val: int64(r.intn(100))})
+			default:
+				a1, a2 := int64(r.intn(i)), int64(r.intn(i))
+				op := int64(scFormulaAdd)
+				if r.intn(4) == 0 {
+					op = scFormulaMul
+				}
+				cells = append(cells, cell{typ: op, a1: a1, a2: a2})
+			}
+		}
+		for pass := 0; pass < 14; pass++ {
+			for i := range cells {
+				switch cells[i].typ {
+				case scFormulaAdd:
+					cells[i].val = cells[cells[i].a1].val + cells[cells[i].a2].val
+				case scFormulaMul:
+					cells[i].val = (cells[cells[i].a1].val * cells[cells[i].a2].val) & 0xFFFF
+				}
+			}
+		}
+		var want uint64
+		for i := range cells {
+			want += uint64(cells[i].val)
+		}
+		// On the 32-bit target values are stored in 4-byte cells;
+		// everything here stays far below 2^31 so the sum agrees.
+		out := runBench(t, "sc", tg)
+		if out[0] != want {
+			t.Errorf("%s: sc checksum = %d, want %d", tg.Name, out[0], want)
+		}
+	}
+}
+
+func TestXlispMatchesGoReference(t *testing.T) {
+	for _, tg := range prog.Targets {
+		r := newRNG(404 + targetSalt(tg.Name))
+		const depth = 8
+		type cell struct{ tag, a, b int64 }
+		var cells []cell
+		var gen func(d int) int64
+		gen = func(d int) int64 {
+			idx := int64(len(cells))
+			if d == 0 {
+				cells = append(cells, cell{lispNum, int64(r.intn(9) + 1), 0})
+				return idx
+			}
+			cells = append(cells, cell{})
+			var tag int64
+			switch r.intn(3) {
+			case 0:
+				tag = lispAdd
+			case 1:
+				tag = lispSub
+			default:
+				if d == 1 {
+					tag = lispMul
+				} else {
+					tag = lispAdd
+				}
+			}
+			l := gen(d - 1)
+			rr := gen(d - 1)
+			cells[idx] = cell{tag, l, rr}
+			return idx
+		}
+		root := gen(depth)
+		var eval func(i int64) int64
+		eval = func(i int64) int64 {
+			c := cells[i]
+			switch c.tag {
+			case lispNum:
+				return c.a
+			case lispAdd:
+				return eval(c.a) + eval(c.b)
+			case lispSub:
+				return eval(c.a) - eval(c.b)
+			default:
+				return eval(c.a) * eval(c.b)
+			}
+		}
+		want := uint64(12 * eval(root)) // 12 evaluations summed
+		out := runBench(t, "xlisp", tg)
+		got := out[0]
+		if tg.PtrBytes == 4 {
+			// 32-bit target: intermediate values stored in 4-byte
+			// locals could wrap; compare low 32 bits.
+			got &= 0xFFFFFFFF
+			want &= 0xFFFFFFFF
+		}
+		if got != want {
+			t.Errorf("%s: xlisp checksum = %d, want %d", tg.Name, got, want)
+		}
+	}
+}
+
+func TestPerlInterpreterMatchesGo(t *testing.T) {
+	// The interpreted program computes, over an array seeded identically:
+	//   i=420..1: idx = i & 255; acc += i*arr[idx]; arr[idx] = acc
+	// On the 32-bit target every stack/var/array cell is 4 bytes, so all
+	// intermediate values truncate to int32; on the 64-bit target they
+	// are full int64.
+	for _, tg := range prog.Targets {
+		r := newRNG(909 + targetSalt(tg.Name))
+		arr := make([]int64, 256)
+		for i := range arr {
+			arr[i] = int64(r.intn(1000))
+		}
+		trunc := func(v int64) int64 {
+			if tg.PtrBytes == 4 {
+				return int64(int32(v))
+			}
+			return v
+		}
+		acc := int64(0)
+		for i := int64(420); i != 0; i-- {
+			idx := i & 255
+			acc = trunc(acc + trunc(i*arr[idx]))
+			arr[idx] = acc
+		}
+		want := uint64(acc)
+		out := runBench(t, "perl", tg)
+		if out[0] != want {
+			t.Errorf("%s: perl result = %d, want %d", tg.Name, int64(out[0]), acc)
+		}
+	}
+}
+
+func TestEqntottSortsTermsCorrectly(t *testing.T) {
+	for _, tg := range prog.Targets {
+		// Rebuild terms, sort indices lexicographically in Go, compare
+		// the position-weighted checksum.
+		r := newRNG(606 + targetSalt(tg.Name))
+		const termBytes = 16
+		nterms := 48
+		terms := make([][]byte, nterms)
+		flat := make([]byte, nterms*termBytes)
+		for i := range flat {
+			v := r.intn(10)
+			switch {
+			case v < 6:
+				flat[i] = 0
+			case v < 9:
+				flat[i] = 1
+			default:
+				flat[i] = 2
+			}
+		}
+		for i := range terms {
+			terms[i] = flat[i*termBytes : (i+1)*termBytes]
+		}
+		perm := make([]int, nterms)
+		for i := range perm {
+			perm[i] = i
+		}
+		// Insertion sort, same comparator, same stability.
+		for i := 1; i < nterms; i++ {
+			for j := i; j > 0; j-- {
+				a, b := terms[perm[j-1]], terms[perm[j]]
+				cmp := 0
+				for k := 0; k < termBytes; k++ {
+					if a[k] != b[k] {
+						if a[k] < b[k] {
+							cmp = -1
+						} else {
+							cmp = 1
+						}
+						break
+					}
+				}
+				if cmp <= 0 {
+					break
+				}
+				perm[j-1], perm[j] = perm[j], perm[j-1]
+			}
+		}
+		var want uint64
+		for pos, idx := range perm {
+			want += uint64(idx * pos)
+		}
+		out := runBench(t, "eqntott", tg)
+		if out[0] != want {
+			t.Errorf("%s: eqntott checksum = %d, want %d", tg.Name, out[0], want)
+		}
+	}
+}

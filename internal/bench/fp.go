@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "doduc",
+		Description: "Monte-Carlo reactor kernel: FP constant tables, branchy event paths",
+		Input:       "synthetic cross-section tables, 3000+ events",
+		FP:          true,
+		Build:       buildDoduc,
+	})
+	register(Benchmark{
+		Name:        "hydro2d",
+		Description: "2D hydrodynamics stencil with large quiescent regions",
+		Input:       "48x32 grid, 70% quiescent cells",
+		FP:          true,
+		Build:       buildHydro2d,
+	})
+	register(Benchmark{
+		Name:        "swm256",
+		Description: "shallow water model: every grid value changes per step (poor locality)",
+		Input:       "26x26 grids, 5 time steps",
+		FP:          true,
+		Build:       buildSwm256,
+	})
+	register(Benchmark{
+		Name:        "tomcatv",
+		Description: "mesh relaxation: coordinates move every sweep (poor locality)",
+		Input:       "28x28 mesh, 4 sweeps",
+		FP:          true,
+		Build:       buildTomcatv,
+	})
+}
+
+// outF emits CVTFI of an FP register (scaled) followed by OUT, as a
+// checksum channel for FP benchmarks.
+func outF(b *prog.Builder, fs isa.Reg) {
+	b.LoadConstF(prog.FT7, 1024.0)
+	b.Op3(isa.FMUL, prog.FT6, fs, prog.FT7)
+	b.Emit(isa.Inst{Op: isa.CVTFI, Rd: prog.T0, Ra: prog.FT6})
+	b.Out(prog.T0)
+}
+
+func buildDoduc(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("doduc", t)
+	r := newRNG(1212 + targetSalt(t.Name))
+	// Cross-section tables: FP constants indexed by a small energy group
+	// number. These loads recur constantly (high FP locality for doduc's
+	// class of code).
+	const groups = 8
+	xsAbs := make([]float64, groups)
+	xsScat := make([]float64, groups)
+	for i := range xsAbs {
+		xsAbs[i] = 0.05 + 0.1*r.float64()
+		xsScat[i] = 0.3 + 0.4*r.float64()
+	}
+	b.Floats64("xsabs", xsAbs)
+	b.Floats64("xsscat", xsScat)
+	const particles = 128
+	pos := make([]float64, particles)
+	for i := range pos {
+		pos[i] = r.float64()
+	}
+	b.Floats64("pos", pos)
+	b.Zeros("errflag", 8)
+	events := int64(2000 * scale)
+
+	f := b.Func("main", 4, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5)
+	f.MarkPtr(prog.S2, prog.S3, prog.S4)
+	f.SaveFP(prog.FS0, prog.FS1, prog.FS2, prog.FS3)
+	b.LoadConstF(prog.FS2, 0.5) // hoisted loop constants (as a compiler would)
+	b.LoadConstF(prog.FS3, 0.3)
+	b.MaterializeInt(prog.S0, events)
+	b.Li(prog.S1, 0) // event counter
+	b.GotData(prog.S2, "xsabs")
+	b.GotData(prog.S3, "xsscat")
+	b.GotData(prog.S4, "pos")
+	b.LoadConstF(prog.FS0, 0.0)           // absorbed tally
+	b.LoadConstF(prog.FS1, 0.0)           // scattered tally
+	b.Li(prog.S5, 0)                      // tracked particle offset
+	b.MaterializeInt(prog.T9, 2463534242) // xorshift state (32-bit-pool safe)
+	loop, done := b.NewLabel("eloop"), b.NewLabel("edone")
+	b.Label(loop)
+	b.Branch(isa.BGE, prog.S1, prog.S0, done)
+	// xorshift64 step in-program
+	b.OpI(isa.SHLI, prog.T0, prog.T9, 13)
+	b.Op3(isa.XOR, prog.T9, prog.T9, prog.T0)
+	b.OpI(isa.SHRI, prog.T0, prog.T9, 7)
+	b.Op3(isa.XOR, prog.T9, prog.T9, prog.T0)
+	b.OpI(isa.SHLI, prog.T0, prog.T9, 17)
+	b.Op3(isa.XOR, prog.T9, prog.T9, prog.T0)
+	// Tracked-particle update: the kernel follows one particle for a
+	// while (S5 holds its offset), re-loading its position every event
+	// but only moving it on a minority of events — so the position load
+	// is usually value-local, like doduc's slowly-evolving state scalars.
+	b.OpI(isa.SHRI, prog.T0, prog.T9, 24)
+	b.OpI(isa.ANDI, prog.T0, prog.T0, 15)
+	keepP := b.NewLabel("keepp")
+	b.Branch(isa.BNE, prog.T0, prog.Zero, keepP) // 1/16: switch particle
+	b.OpI(isa.SHRI, prog.S5, prog.T9, 16)
+	b.OpI(isa.ANDI, prog.S5, prog.S5, particles-1)
+	b.OpI(isa.SHLI, prog.S5, prog.S5, 3)
+	b.Label(keepP)
+	b.Op3(isa.ADD, prog.T1, prog.S5, prog.S4)
+	b.Load(isa.FLD, prog.FT3, prog.T1, 0, isa.LoadFPData) // pos (mostly unchanged)
+	b.OpI(isa.SHRI, prog.T0, prog.T9, 28)
+	b.OpI(isa.ANDI, prog.T0, prog.T0, 3)
+	noMove := b.NewLabel("nomove")
+	b.Branch(isa.BNE, prog.T0, prog.Zero, noMove) // 3/4: no movement
+	b.Op3(isa.FMUL, prog.FT3, prog.FT3, prog.FS2)
+	b.Op3(isa.FADD, prog.FT3, prog.FT3, prog.FS3)
+	b.Store(isa.FSD, prog.FT3, prog.T1, 0)
+	b.Label(noMove)
+	// group = state & 7; path = (state >> 8) & 3: absorption (0) dispatches
+	// through a jump table so each energy group has its own static load of
+	// its cross-section (doduc's unrolled physics scalars: high locality);
+	// scatter (1-3) uses one indexed load over 8 changing values (poor
+	// depth-1 locality, good depth-16).
+	b.OpI(isa.ANDI, prog.T1, prog.T9, groups-1)
+	b.OpI(isa.SHRI, prog.T3, prog.T9, 8)
+	b.OpI(isa.ANDI, prog.T3, prog.T3, 7)
+	next, scatter := b.NewLabel("next"), b.NewLabel("scat")
+	b.Branch(isa.BNE, prog.T3, prog.Zero, scatter)
+	caseLabels := make([]string, groups)
+	for g := range caseLabels {
+		caseLabels[g] = b.NewLabel("grp")
+	}
+	b.Switch(prog.T1, prog.T5, "doduc_jt", caseLabels, next)
+	for g := 0; g < groups; g++ {
+		b.Label(caseLabels[g])
+		b.Load(isa.FLD, prog.FT0, prog.S2, int64(g*8), isa.LoadFPData) // xsabs[g]
+		b.Op3(isa.FADD, prog.FS0, prog.FS0, prog.FT0)
+		b.Jump(next)
+	}
+	b.Label(scatter)
+	b.OpI(isa.SHLI, prog.T4, prog.T1, 3)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S3)
+	b.Load(isa.FLD, prog.FT1, prog.T4, 0, isa.LoadFPData) // xsscat[group]
+	b.Op3(isa.FMUL, prog.FT1, prog.FT1, prog.FS2)
+	b.Op3(isa.FADD, prog.FS1, prog.FS1, prog.FT1)
+	b.Label(next)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(loop)
+	b.Label(done)
+	b.ErrorCheck("errflag", "doducfail")
+	outF(b, prog.FS0)
+	outF(b, prog.FS1)
+	f.Epilogue()
+
+	b.Label("doducfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}
+
+func buildHydro2d(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("hydro2d", t)
+	r := newRNG(1313 + targetSalt(t.Name))
+	const nx, ny = 48, 32
+	// Density grid: mostly-quiescent fluid. Quiescent cells keep their
+	// initial constant value forever, so their stencil loads recur.
+	rho := make([]float64, nx*ny)
+	active := make([]int64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			idx := j*nx + i
+			rho[idx] = 1.0
+			// a moving blob in the middle third is active
+			if i > nx/3 && i < 2*nx/3 && j > ny/3 && j < 2*ny/3 && r.intn(10) < 8 {
+				active[idx] = 1
+				rho[idx] = 1.0 + r.float64()
+			}
+		}
+	}
+	b.Floats64("rho", rho)
+	b.WordsPtr("active", active)
+	b.Zeros("errflag", 8)
+	steps := int64(6 * scale)
+
+	sh := b.PtrShift()
+
+	f := b.Func("main", 2, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5)
+	f.MarkPtr(prog.S0, prog.S1)
+	f.SaveFP(prog.FS0, prog.FS1)
+	b.GotData(prog.S0, "rho")
+	b.GotData(prog.S1, "active")
+	b.MaterializeInt(prog.S2, steps)
+	b.Li(prog.S3, 0) // step
+	b.LoadConstF(prog.FS0, 0.0)
+	b.LoadConstF(prog.FS1, 0.2) // hoisted loop constant
+	sloop, sdone := b.NewLabel("sloop"), b.NewLabel("sdone")
+	b.Label(sloop)
+	b.Branch(isa.BGE, prog.S3, prog.S2, sdone)
+	// interior sweep
+	b.MaterializeInt(prog.S4, nx+1) // start index (row 1, col 1)
+	b.MaterializeInt(prog.S5, nx*(ny-1)-1)
+	cloop, cdone := b.NewLabel("cloop"), b.NewLabel("cdone")
+	b.Label(cloop)
+	b.Branch(isa.BGE, prog.S4, prog.S5, cdone)
+	// if !active[idx] skip (flag loads: mostly 0, high locality)
+	b.OpI(isa.SHLI, prog.T0, prog.S4, sh)
+	b.Op3(isa.ADD, prog.T0, prog.T0, prog.S1)
+	b.LoadInt(prog.T1, prog.T0, 0)
+	skip := b.NewLabel("skip")
+	b.Branch(isa.BEQ, prog.T1, prog.Zero, skip)
+	// rho[idx] = 0.2*(rho[idx] + n + s + e + w) — neighbours are often
+	// quiescent constants.
+	b.OpI(isa.SHLI, prog.T2, prog.S4, 3)
+	b.Op3(isa.ADD, prog.T2, prog.T2, prog.S0)
+	b.Load(isa.FLD, prog.FT0, prog.T2, 0, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT1, prog.T2, -8, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT2, prog.T2, 8, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT3, prog.T2, -8*nx, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT4, prog.T2, 8*nx, isa.LoadFPData)
+	b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT1)
+	b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT2)
+	b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT3)
+	b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT4)
+	b.Op3(isa.FMUL, prog.FT0, prog.FT0, prog.FS1)
+	b.Store(isa.FSD, prog.FT0, prog.T2, 0)
+	b.Op3(isa.FADD, prog.FS0, prog.FS0, prog.FT0)
+	b.Label(skip)
+	b.OpI(isa.ADDI, prog.S4, prog.S4, 1)
+	b.Jump(cloop)
+	b.Label(cdone)
+	b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	b.Jump(sloop)
+	b.Label(sdone)
+	b.ErrorCheck("errflag", "hydrofail")
+	outF(b, prog.FS0)
+	f.Epilogue()
+
+	b.Label("hydrofail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}
+
+func buildSwm256(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("swm256", t)
+	r := newRNG(1414 + targetSalt(t.Name))
+	const n = 26
+	u := make([]float64, n*n)
+	v := make([]float64, n*n)
+	p := make([]float64, n*n)
+	for i := range u {
+		u[i] = r.float64()
+		v[i] = r.float64()
+		p[i] = 10 + r.float64()
+	}
+	b.Floats64("u", u)
+	b.Floats64("v", v)
+	b.Floats64("p", p)
+	// dt and tdt are COMMON-block variables in the real swm256; the
+	// compiler reloads them inside the inner loop every iteration. They
+	// are the benchmark's only value-local loads (paper Table 4 shows
+	// swm256 at 8-17% constants despite its poor overall locality).
+	b.Floats64("dt", []float64{0.01})
+	b.Floats64("tdt", []float64{0.005})
+	b.Zeros("errflag", 8)
+	steps := int64(5 * scale)
+
+	// main: every step rewrites every interior value of all three grids
+	// from neighbour values — nothing recurs, reproducing swm256's poor
+	// value locality.
+	f := b.Func("main", 2, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5, prog.S6)
+	f.MarkPtr(prog.S0, prog.S1, prog.S2)
+	f.SaveFP(prog.FS0)
+	b.GotData(prog.S0, "u")
+	b.GotData(prog.S1, "v")
+	b.GotData(prog.S2, "p")
+	b.MaterializeInt(prog.S3, steps)
+	b.Li(prog.S4, 0)
+	b.LoadConstF(prog.FS0, 0.0)
+	dtOff := int64(b.SymbolAddr("dt") - prog.DataBase)
+	tdtOff := int64(b.SymbolAddr("tdt") - prog.DataBase)
+	sloop, sdone := b.NewLabel("sloop"), b.NewLabel("sdone")
+	b.Label(sloop)
+	b.Branch(isa.BGE, prog.S4, prog.S3, sdone)
+	b.MaterializeInt(prog.S5, n+1)
+	b.MaterializeInt(prog.S6, n*(n-1)-1)
+	cloop, cdone := b.NewLabel("cloop"), b.NewLabel("cdone")
+	b.Label(cloop)
+	b.Branch(isa.BGE, prog.S5, prog.S6, cdone)
+	b.OpI(isa.SHLI, prog.T0, prog.S5, 3)
+	b.Op3(isa.ADD, prog.T1, prog.T0, prog.S0) // &u[idx]
+	b.Op3(isa.ADD, prog.T2, prog.T0, prog.S1) // &v[idx]
+	b.Op3(isa.ADD, prog.T3, prog.T0, prog.S2) // &p[idx]
+	// u += 0.01*(p[e]-p[w]); v += 0.01*(p[n]-p[s]); p += 0.005*(u+v)
+	b.Load(isa.FLD, prog.FT0, prog.T3, 8, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT1, prog.T3, -8, isa.LoadFPData)
+	b.Op3(isa.FSUB, prog.FT0, prog.FT0, prog.FT1)
+	b.Load(isa.FLD, prog.FT5, prog.GP, dtOff, isa.LoadFPData) // dt (COMMON var)
+	b.Op3(isa.FMUL, prog.FT0, prog.FT0, prog.FT5)
+	b.Load(isa.FLD, prog.FT2, prog.T1, 0, isa.LoadFPData)
+	b.Op3(isa.FADD, prog.FT2, prog.FT2, prog.FT0)
+	b.Store(isa.FSD, prog.FT2, prog.T1, 0)
+	b.Load(isa.FLD, prog.FT0, prog.T3, 8*n, isa.LoadFPData)
+	b.Load(isa.FLD, prog.FT1, prog.T3, -8*n, isa.LoadFPData)
+	b.Op3(isa.FSUB, prog.FT0, prog.FT0, prog.FT1)
+	b.Op3(isa.FMUL, prog.FT0, prog.FT0, prog.FT5)
+	b.Load(isa.FLD, prog.FT3, prog.T2, 0, isa.LoadFPData)
+	b.Op3(isa.FADD, prog.FT3, prog.FT3, prog.FT0)
+	b.Store(isa.FSD, prog.FT3, prog.T2, 0)
+	b.Op3(isa.FADD, prog.FT4, prog.FT2, prog.FT3)
+	b.Load(isa.FLD, prog.FT6, prog.GP, tdtOff, isa.LoadFPData) // tdt (COMMON var)
+	b.Op3(isa.FMUL, prog.FT4, prog.FT4, prog.FT6)
+	b.Load(isa.FLD, prog.FT1, prog.T3, 0, isa.LoadFPData)
+	b.Op3(isa.FADD, prog.FT1, prog.FT1, prog.FT4)
+	b.Store(isa.FSD, prog.FT1, prog.T3, 0)
+	b.Op3(isa.FADD, prog.FS0, prog.FS0, prog.FT1)
+	b.OpI(isa.ADDI, prog.S5, prog.S5, 1)
+	b.Jump(cloop)
+	b.Label(cdone)
+	b.OpI(isa.ADDI, prog.S4, prog.S4, 1)
+	b.Jump(sloop)
+	b.Label(sdone)
+	b.ErrorCheck("errflag", "swmfail")
+	outF(b, prog.FS0)
+	f.Epilogue()
+
+	b.Label("swmfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}
+
+func buildTomcatv(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("tomcatv", t)
+	r := newRNG(1515 + targetSalt(t.Name))
+	const n = 28
+	x := make([]float64, n*n)
+	y := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			x[j*n+i] = float64(i) + 0.3*r.float64()
+			y[j*n+i] = float64(j) + 0.3*r.float64()
+		}
+	}
+	b.Floats64("mx", x)
+	b.Floats64("my", y)
+	b.Zeros("errflag", 8)
+	sweeps := int64(4 * scale)
+
+	// main: Jacobi-style relaxation of both coordinate grids; every
+	// coordinate moves every sweep (poor locality, like the paper's
+	// tomcatv).
+	f := b.Func("main", 4, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5)
+	f.MarkPtr(prog.S0, prog.S1)
+	f.SaveFP(prog.FS0, prog.FS1, prog.FS2)
+	b.GotData(prog.S0, "mx")
+	b.GotData(prog.S1, "my")
+	b.MaterializeInt(prog.S2, sweeps)
+	b.Li(prog.S3, 0)
+	b.LoadConstF(prog.FS0, 0.0)
+	b.LoadConstF(prog.FS1, 0.25) // hoisted loop constants
+	b.LoadConstF(prog.FS2, 0.9)
+	sloop, sdone := b.NewLabel("sloop"), b.NewLabel("sdone")
+	b.Label(sloop)
+	b.Branch(isa.BGE, prog.S3, prog.S2, sdone)
+	b.MaterializeInt(prog.S4, n+1)
+	b.MaterializeInt(prog.S5, n*(n-1)-1)
+	cloop, cdone := b.NewLabel("cloop"), b.NewLabel("cdone")
+	b.Label(cloop)
+	b.Branch(isa.BGE, prog.S4, prog.S5, cdone)
+	b.OpI(isa.SHLI, prog.T0, prog.S4, 3)
+	relax := func(base isa.Reg) {
+		b.Op3(isa.ADD, prog.T1, prog.T0, base)
+		b.Load(isa.FLD, prog.FT0, prog.T1, 8, isa.LoadFPData)
+		b.Load(isa.FLD, prog.FT1, prog.T1, -8, isa.LoadFPData)
+		b.Load(isa.FLD, prog.FT2, prog.T1, 8*n, isa.LoadFPData)
+		b.Load(isa.FLD, prog.FT3, prog.T1, -8*n, isa.LoadFPData)
+		b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT1)
+		b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT2)
+		b.Op3(isa.FADD, prog.FT0, prog.FT0, prog.FT3)
+		b.Op3(isa.FMUL, prog.FT0, prog.FT0, prog.FS1)
+		// over-relaxation blend with current value
+		b.Load(isa.FLD, prog.FT5, prog.T1, 0, isa.LoadFPData)
+		b.Op3(isa.FSUB, prog.FT6, prog.FT0, prog.FT5)
+		b.Op3(isa.FMUL, prog.FT6, prog.FT6, prog.FS2)
+		b.Op3(isa.FADD, prog.FT5, prog.FT5, prog.FT6)
+		b.Store(isa.FSD, prog.FT5, prog.T1, 0)
+		b.Op3(isa.FADD, prog.FS0, prog.FS0, prog.FT6)
+	}
+	relax(prog.S0)
+	relax(prog.S1)
+	b.OpI(isa.ADDI, prog.S4, prog.S4, 1)
+	b.Jump(cloop)
+	b.Label(cdone)
+	b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	b.Jump(sloop)
+	b.Label(sdone)
+	b.ErrorCheck("errflag", "tomfail")
+	outF(b, prog.FS0)
+	f.Epilogue()
+
+	b.Label("tomfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}

@@ -1,0 +1,585 @@
+package bench
+
+import (
+	"fmt"
+
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "perl",
+		Description: "stack bytecode interpreter, modelled on the perl runtime loop",
+		Input:       "arithmetic-loop bytecode program",
+		Build:       buildPerl,
+	})
+	register(Benchmark{
+		Name:        "xlisp",
+		Description: "recursive expression-tree evaluator, modelled on the xlisp interpreter",
+		Input:       "balanced cons-cell arithmetic tree, re-evaluated repeatedly",
+		Build:       buildXlisp,
+	})
+	register(Benchmark{
+		Name:        "sc",
+		Description: "spreadsheet recalculation over a mostly-empty grid",
+		Input:       "synthetic 800-cell sheet, 60% empty cells",
+		Build:       buildSC,
+	})
+	register(Benchmark{
+		Name:        "eqntott",
+		Description: "truth-table term sort through a comparison function pointer",
+		Input:       "48 ternary bit-vector terms",
+		Build:       buildEqntott,
+	})
+}
+
+// Bytecode opcodes for the perl workload's interpreted machine.
+const (
+	bcPushC  = iota // push constant arg
+	bcPushV         // push vars[arg]
+	bcStoreV        // vars[arg] = pop
+	bcAdd           // push(pop+pop)
+	bcSub           // b=pop, a=pop, push(a-b)
+	bcMul           // push(pop*pop)
+	bcJnz           // if pop != 0 jump to instruction arg
+	bcPrint         // OUT pop
+	bcHaltOp        // stop interpreting
+	bcLoadA         // idx=pop; push(arr[idx])
+	bcStoreA        // idx=pop, val=pop; arr[idx]=val
+	bcNumOps
+)
+
+func buildPerl(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("perl", t)
+	n := int64(420 * scale)
+	const arrLen = 256
+	// Interpreted program over a data array (the handlers do real,
+	// value-varying work, like perl's):
+	//   i=n; acc=0
+	//   do { acc += i*arr[i&255]; arr[i&255] = acc; i-- } while i
+	//   print acc
+	// The i&255 masking is done with mul/sub tricks the tiny ISA has:
+	// idx = i - (i/256)*256 is precomputed per iteration using vars.
+	type bc struct{ op, arg int64 }
+	codeList := []bc{
+		{bcPushC, n}, {bcStoreV, 0}, // i = n
+		{bcPushC, 0}, {bcStoreV, 1}, // acc = 0
+		// loop body starts at instruction 4
+		{bcPushV, 0}, {bcLoadA, 0}, // arr[i % len] (handler masks)
+		{bcPushV, 0}, {bcMul, 0}, // * i
+		{bcPushV, 1}, {bcAdd, 0}, {bcStoreV, 1}, // acc +=
+		{bcPushV, 1}, {bcPushV, 0}, {bcStoreA, 0}, // arr[i % len] = acc
+		{bcPushV, 0}, {bcPushC, 1}, {bcSub, 0}, {bcStoreV, 0}, // i--
+		{bcPushV, 0}, {bcJnz, 4},
+		{bcPushV, 1}, {bcPrint, 0},
+		{bcHaltOp, 0},
+	}
+	words := make([]int64, 0, 2*len(codeList))
+	for _, c := range codeList {
+		words = append(words, c.op, c.arg)
+	}
+	b.WordsPtr("bytecode", words)
+	r := newRNG(909 + targetSalt(t.Name))
+	arr := make([]int64, arrLen)
+	for i := range arr {
+		arr[i] = int64(r.intn(1000))
+	}
+	b.WordsPtr("arr", arr)
+	b.Zeros("stack", 64*8)
+	b.Zeros("vars", 16*8)
+	b.Zeros("errflag", 8)
+
+	ptr := b.PtrBytes()
+	sh := b.PtrShift()
+
+	// main: *threaded* fetch/dispatch, as real interpreter cores are
+	// compiled: every handler ends with its own copy of the fetch and
+	// the computed dispatch. Each static fetch site therefore sees the
+	// opcode that follows one specific opcode — nearly constant for a
+	// fixed interpreted program — which is precisely why interpreters
+	// exhibit high load value locality (paper §2, "computed branches").
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5)
+	f.MarkPtr(prog.S0, prog.S2, prog.S4, prog.S5)
+	b.GotData(prog.S0, "bytecode")
+	b.Li(prog.S1, 0) // ip (instruction index)
+	b.GotData(prog.S2, "stack")
+	b.Li(prog.S3, 0) // sp (slot index)
+	b.GotData(prog.S4, "vars")
+	b.GotData(prog.S5, "arr")
+	handlers := []string{"h_pushc", "h_pushv", "h_storev", "h_add", "h_sub", "h_mul", "h_jnz", "h_print", "h_halt", "h_loada", "h_storea"}
+	jtSeq := 0
+	dispatch := func() {
+		// T0 = op, T1 = arg; advance ip; jump through this site's table.
+		b.OpI(isa.SHLI, prog.T2, prog.S1, sh+1) // ip * 2*ptr
+		b.Op3(isa.ADD, prog.T2, prog.T2, prog.S0)
+		b.LoadInt(prog.T0, prog.T2, 0)   // opcode (near-constant per site)
+		b.LoadInt(prog.T1, prog.T2, ptr) // argument
+		b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+		b.Switch(prog.T0, prog.T5, fmt.Sprintf("perl_jt%d", jtSeq), handlers, "h_halt")
+		jtSeq++
+	}
+	dispatch()
+
+	// push/pop helpers inline; stack slot = S2 + sp<<sh
+	pushT3 := func() { // push T3
+		b.OpI(isa.SHLI, prog.T4, prog.S3, sh)
+		b.Op3(isa.ADD, prog.T4, prog.T4, prog.S2)
+		b.StoreInt(prog.T3, prog.T4, 0)
+		b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	}
+	popT3 := func() { // T3 = pop
+		b.OpI(isa.ADDI, prog.S3, prog.S3, -1)
+		b.OpI(isa.SHLI, prog.T4, prog.S3, sh)
+		b.Op3(isa.ADD, prog.T4, prog.T4, prog.S2)
+		b.LoadInt(prog.T3, prog.T4, 0)
+	}
+	popT6 := func() { // T6 = pop
+		b.OpI(isa.ADDI, prog.S3, prog.S3, -1)
+		b.OpI(isa.SHLI, prog.T4, prog.S3, sh)
+		b.Op3(isa.ADD, prog.T4, prog.T4, prog.S2)
+		b.LoadInt(prog.T6, prog.T4, 0)
+	}
+
+	b.Label("h_pushc")
+	b.Mv(prog.T3, prog.T1)
+	pushT3()
+	dispatch()
+
+	b.Label("h_pushv")
+	b.OpI(isa.SHLI, prog.T4, prog.T1, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S4)
+	b.LoadInt(prog.T3, prog.T4, 0)
+	pushT3()
+	dispatch()
+
+	b.Label("h_storev")
+	popT3()
+	b.OpI(isa.SHLI, prog.T4, prog.T1, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S4)
+	b.StoreInt(prog.T3, prog.T4, 0)
+	dispatch()
+
+	b.Label("h_add")
+	popT6()
+	popT3()
+	b.Op3(isa.ADD, prog.T3, prog.T3, prog.T6)
+	pushT3()
+	dispatch()
+
+	b.Label("h_sub")
+	popT6()
+	popT3()
+	b.Op3(isa.SUB, prog.T3, prog.T3, prog.T6)
+	pushT3()
+	dispatch()
+
+	b.Label("h_mul")
+	popT6()
+	popT3()
+	b.Op3(isa.MUL, prog.T3, prog.T3, prog.T6)
+	pushT3()
+	dispatch()
+
+	b.Label("h_jnz")
+	popT3()
+	fall := b.NewLabel("jnzfall")
+	b.Branch(isa.BEQ, prog.T3, prog.Zero, fall)
+	b.Mv(prog.S1, prog.T1)
+	b.Label(fall)
+	dispatch()
+
+	b.Label("h_print")
+	popT3()
+	b.Out(prog.T3)
+	dispatch()
+
+	b.Label("h_loada")
+	popT3() // index
+	b.OpI(isa.ANDI, prog.T3, prog.T3, arrLen-1)
+	b.OpI(isa.SHLI, prog.T4, prog.T3, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S5)
+	b.LoadInt(prog.T3, prog.T4, 0) // arr value (varies: real work)
+	pushT3()
+	dispatch()
+
+	b.Label("h_storea")
+	popT3() // index
+	popT6() // value
+	b.OpI(isa.ANDI, prog.T3, prog.T3, arrLen-1)
+	b.OpI(isa.SHLI, prog.T4, prog.T3, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S5)
+	b.StoreInt(prog.T6, prog.T4, 0)
+	dispatch()
+
+	b.Label("h_halt")
+	b.ErrorCheck("errflag", "perlfail")
+	f.Epilogue()
+
+	b.Label("perlfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}
+
+// Cell tags for the xlisp expression tree.
+const (
+	lispNum = iota
+	lispAdd
+	lispSub
+	lispMul
+)
+
+func buildXlisp(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("xlisp", t)
+	r := newRNG(404 + targetSalt(t.Name))
+	// Build a balanced tree of depth 8: cell = [tag, a, b]; for NUM, a is
+	// the value; otherwise a and b are child cell indices.
+	const depth = 8
+	var cells []int64 // flattened 3-word records
+	var gen func(d int) int64
+	gen = func(d int) int64 {
+		idx := int64(len(cells) / 3)
+		if d == 0 {
+			cells = append(cells, lispNum, int64(r.intn(9)+1), 0)
+			return idx
+		}
+		cells = append(cells, 0, 0, 0) // reserve
+		var tag int64
+		switch r.intn(3) {
+		case 0:
+			tag = lispAdd
+		case 1:
+			tag = lispSub
+		default:
+			if d == 1 {
+				tag = lispMul // multiply only near the leaves to bound values
+			} else {
+				tag = lispAdd
+			}
+		}
+		l := gen(d - 1)
+		rr := gen(d - 1)
+		cells[idx*3], cells[idx*3+1], cells[idx*3+2] = tag, l, rr
+		return idx
+	}
+	root := gen(depth)
+	b.WordsPtr("cells", cells)
+	b.Zeros("errflag", 8)
+	evals := 12 * scale
+
+	ptr := b.PtrBytes()
+	sh := b.PtrShift()
+
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2)
+	b.MaterializeInt(prog.S0, int64(evals))
+	b.Li(prog.S1, 0) // iteration
+	b.Li(prog.S2, 0) // checksum
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Branch(isa.BGE, prog.S1, prog.S0, done)
+	b.MaterializeInt(prog.A0, root)
+	b.Call("eval")
+	b.Op3(isa.ADD, prog.S2, prog.S2, prog.A0)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(loop)
+	b.Label(done)
+	b.ErrorCheck("errflag", "xlispfail")
+	b.Out(prog.S2)
+	f.Epilogue()
+
+	b.Label("xlispfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// eval(A0 = cell index) -> A0 = value. Recursion produces deep
+	// call-subgraph locality: RA restores, callee-save reloads, and tag
+	// loads of the same cells every outer iteration.
+	g := b.Func("eval", 0, prog.S0, prog.S1, prog.S2)
+	g.MarkPtr(prog.S2)
+	b.GotData(prog.S2, "cells") // data-address load (recurring)
+	b.Li(prog.T0, 3)
+	b.Op3(isa.MUL, prog.T1, prog.A0, prog.T0)
+	b.OpI(isa.SHLI, prog.T1, prog.T1, sh)
+	b.Op3(isa.ADD, prog.S0, prog.S2, prog.T1) // &cell
+	b.LoadInt(prog.T2, prog.S0, 0)            // tag (recurring per cell)
+	b.Switch(prog.T2, prog.T5, "xlisp_jt",
+		[]string{"l_num", "l_add", "l_sub", "l_mul"}, "l_num")
+
+	b.Label("l_num")
+	b.LoadInt(prog.A0, prog.S0, ptr)
+	b.Jump("l_ret")
+
+	evalChildren := func() {
+		b.LoadInt(prog.A0, prog.S0, ptr) // left child index
+		b.Call("eval")
+		b.Mv(prog.S1, prog.A0)
+		b.LoadInt(prog.A0, prog.S0, 2*ptr) // right child index
+		b.Call("eval")
+	}
+	b.Label("l_add")
+	evalChildren()
+	b.Op3(isa.ADD, prog.A0, prog.S1, prog.A0)
+	b.Jump("l_ret")
+	b.Label("l_sub")
+	evalChildren()
+	b.Op3(isa.SUB, prog.A0, prog.S1, prog.A0)
+	b.Jump("l_ret")
+	b.Label("l_mul")
+	evalChildren()
+	b.Op3(isa.MUL, prog.A0, prog.S1, prog.A0)
+	b.Label("l_ret")
+	g.Epilogue()
+
+	return b.Build()
+}
+
+// Cell types for the sc spreadsheet grid.
+const (
+	scEmpty = iota
+	scConst
+	scFormulaAdd
+	scFormulaMul
+)
+
+func buildSC(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("sc", t)
+	r := newRNG(505 + targetSalt(t.Name))
+	ncells := 800
+	// cell = [type, value, a1, a2]; formulas reference strictly earlier
+	// cells so one pass converges and later passes re-load stable values.
+	cells := make([]int64, 0, ncells*4)
+	for i := range ncells {
+		switch {
+		case i < 2 || r.intn(10) < 6:
+			cells = append(cells, scEmpty, 0, 0, 0)
+		case r.intn(10) < 7:
+			cells = append(cells, scConst, int64(r.intn(100)), 0, 0)
+		default:
+			a1, a2 := int64(r.intn(i)), int64(r.intn(i))
+			op := int64(scFormulaAdd)
+			if r.intn(4) == 0 {
+				op = scFormulaMul
+			}
+			cells = append(cells, op, 0, a1, a2)
+		}
+	}
+	b.WordsPtr("cells", cells)
+	b.Zeros("errflag", 8)
+	passes := int64(14 * scale)
+
+	ptr := b.PtrBytes()
+	sh := b.PtrShift()
+	stride := int64(4) << sh
+
+	// main: recalc passes over the grid; cell-type loads are mostly
+	// scEmpty (redundant data), and after the first pass every value
+	// load is stable.
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4)
+	f.MarkPtr(prog.S0)
+	b.GotData(prog.S0, "cells")
+	b.Li(prog.S1, 0) // pass
+	b.MaterializeInt(prog.S4, passes)
+	b.Li(prog.T9, 0)
+	ploop, pdone := b.NewLabel("ploop"), b.NewLabel("pdone")
+	b.Label(ploop)
+	b.Branch(isa.BGE, prog.S1, prog.S4, pdone)
+	b.Li(prog.S2, 0) // cell index
+	cloop, cdone := b.NewLabel("cloop"), b.NewLabel("cdone")
+	b.Label(cloop)
+	b.MaterializeInt(prog.T0, int64(ncells))
+	b.Branch(isa.BGE, prog.S2, prog.T0, cdone)
+	b.MaterializeInt(prog.T1, stride)
+	b.Op3(isa.MUL, prog.T1, prog.S2, prog.T1)
+	b.Op3(isa.ADD, prog.S3, prog.S0, prog.T1) // &cell
+	b.LoadInt(prog.T2, prog.S3, 0)            // type (60% empty)
+	b.Switch(prog.T2, prog.T5, "sc_jt",
+		[]string{"c_empty", "c_const", "c_add", "c_mul"}, "c_empty")
+
+	b.Label("c_empty")
+	b.Jump("c_next")
+	b.Label("c_const")
+	b.Jump("c_next")
+
+	loadRef := func(argOff int64, dst isa.Reg) {
+		b.LoadInt(prog.T3, prog.S3, argOff) // referenced index
+		b.MaterializeInt(prog.T4, stride)
+		b.Op3(isa.MUL, prog.T3, prog.T3, prog.T4)
+		b.Op3(isa.ADD, prog.T3, prog.T3, prog.S0)
+		b.LoadInt(dst, prog.T3, ptr) // referenced value (stable after pass 1)
+	}
+	b.Label("c_add")
+	loadRef(2*ptr, prog.T6)
+	loadRef(3*ptr, prog.T7)
+	b.Op3(isa.ADD, prog.T8, prog.T6, prog.T7)
+	b.StoreInt(prog.T8, prog.S3, ptr)
+	b.Jump("c_next")
+	b.Label("c_mul")
+	loadRef(2*ptr, prog.T6)
+	loadRef(3*ptr, prog.T7)
+	b.Op3(isa.MUL, prog.T8, prog.T6, prog.T7)
+	b.OpI(isa.ANDI, prog.T8, prog.T8, 0xFFFF) // keep values bounded
+	b.StoreInt(prog.T8, prog.S3, ptr)
+	b.Jump("c_next")
+
+	b.Label("c_next")
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Jump(cloop)
+	b.Label(cdone)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(ploop)
+	b.Label(pdone)
+	// checksum pass
+	b.Li(prog.S2, 0)
+	b.Li(prog.T9, 0)
+	sloop, sdone := b.NewLabel("sloop"), b.NewLabel("sdone")
+	b.Label(sloop)
+	b.MaterializeInt(prog.T0, int64(ncells))
+	b.Branch(isa.BGE, prog.S2, prog.T0, sdone)
+	b.MaterializeInt(prog.T1, stride)
+	b.Op3(isa.MUL, prog.T1, prog.S2, prog.T1)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.S0)
+	b.LoadInt(prog.T2, prog.T1, ptr)
+	b.Op3(isa.ADD, prog.T9, prog.T9, prog.T2)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Jump(sloop)
+	b.Label(sdone)
+	b.ErrorCheck("errflag", "scfail")
+	b.Out(prog.T9)
+	f.Epilogue()
+
+	b.Label("scfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	return b.Build()
+}
+
+func buildEqntott(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("eqntott", t)
+	r := newRNG(606 + targetSalt(t.Name))
+	const termBytes = 16
+	nterms := 40 + 8*scale
+	terms := make([]byte, nterms*termBytes)
+	for i := range terms {
+		// ternary digits 0/1/2, heavily biased toward 0 (redundant data)
+		v := r.intn(10)
+		switch {
+		case v < 6:
+			terms[i] = 0
+		case v < 9:
+			terms[i] = 1
+		default:
+			terms[i] = 2
+		}
+	}
+	b.Bytes("terms", terms)
+	perm := make([]int64, nterms)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	b.WordsPtr("perm", perm)
+	b.PtrTable("cmpfn", []string{"cmppt"}, true) // function-pointer variable
+	b.Zeros("errflag", 8)
+
+	sh := b.PtrShift()
+
+	// main: insertion sort of perm[] through the cmpfn function pointer,
+	// modelled on eqntott's qsort(cmppt) hot loop.
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4)
+	f.MarkPtr(prog.S0)
+	b.GotData(prog.S0, "perm")
+	b.Li(prog.S1, 1) // i
+	b.MaterializeInt(prog.S4, int64(nterms))
+	iloop, idone := b.NewLabel("iloop"), b.NewLabel("idone")
+	b.Label(iloop)
+	b.Branch(isa.BGE, prog.S1, prog.S4, idone)
+	b.Mv(prog.S2, prog.S1) // j
+	jloop, jdone := b.NewLabel("jloop"), b.NewLabel("jdone")
+	b.Label(jloop)
+	b.Branch(isa.BEQ, prog.S2, prog.Zero, jdone)
+	// A0 = perm[j-1], A1 = perm[j]
+	b.OpI(isa.SHLI, prog.T0, prog.S2, sh)
+	b.Op3(isa.ADD, prog.S3, prog.S0, prog.T0) // &perm[j]
+	b.LoadInt(prog.A1, prog.S3, 0)
+	b.LoadInt(prog.A0, prog.S3, -b.PtrBytes())
+	b.CallThrough("cmpfn")                       // inst-addr load of the comparator, every time
+	b.Branch(isa.BGE, prog.Zero, prog.A0, jdone) // if cmp <= 0 stop
+	// swap perm[j-1], perm[j]
+	b.LoadInt(prog.T1, prog.S3, 0)
+	b.LoadInt(prog.T2, prog.S3, -b.PtrBytes())
+	b.StoreInt(prog.T1, prog.S3, -b.PtrBytes())
+	b.StoreInt(prog.T2, prog.S3, 0)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, -1)
+	b.Jump(jloop)
+	b.Label(jdone)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(iloop)
+	b.Label(idone)
+	// checksum: sum idx*pos
+	b.Li(prog.S1, 0)
+	b.Li(prog.T9, 0)
+	sloop, sdone := b.NewLabel("sloop"), b.NewLabel("sdone")
+	b.Label(sloop)
+	b.Branch(isa.BGE, prog.S1, prog.S4, sdone)
+	b.OpI(isa.SHLI, prog.T0, prog.S1, sh)
+	b.Op3(isa.ADD, prog.T0, prog.T0, prog.S0)
+	b.LoadInt(prog.T1, prog.T0, 0)
+	b.Op3(isa.MUL, prog.T1, prog.T1, prog.S1)
+	b.Op3(isa.ADD, prog.T9, prog.T9, prog.T1)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(sloop)
+	b.Label(sdone)
+	b.ErrorCheck("errflag", "eqnfail")
+	b.Out(prog.T9)
+	f.Epilogue()
+
+	b.Label("eqnfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// cmppt(A0 = idxA, A1 = idxB): lexicographic compare of the two
+	// ternary terms. The byte loads are 0/1/2 values: extreme locality.
+	g := b.Func("cmppt", 0, prog.S0, prog.S1)
+	g.MarkPtr(prog.S0)
+	b.GotData(prog.S0, "terms")
+	b.MaterializeInt(prog.T0, termBytes)
+	b.Op3(isa.MUL, prog.T1, prog.A0, prog.T0)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.S0) // &terms[a]
+	b.Op3(isa.MUL, prog.T2, prog.A1, prog.T0)
+	b.Op3(isa.ADD, prog.T2, prog.T2, prog.S0) // &terms[b]
+	b.Li(prog.S1, 0)                          // byte index
+	cmploop := b.NewLabel("cmploop")
+	b.Label(cmploop)
+	b.MaterializeInt(prog.T3, termBytes)
+	b.Branch(isa.BGE, prog.S1, prog.T3, "cmpeq")
+	b.Op3(isa.ADD, prog.T4, prog.T1, prog.S1)
+	b.Load(isa.LBU, prog.T5, prog.T4, 0, isa.LoadIntData)
+	b.Op3(isa.ADD, prog.T6, prog.T2, prog.S1)
+	b.Load(isa.LBU, prog.T7, prog.T6, 0, isa.LoadIntData)
+	b.Branch(isa.BLT, prog.T5, prog.T7, "cmplt")
+	b.Branch(isa.BLT, prog.T7, prog.T5, "cmpgt")
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(cmploop)
+	b.Label("cmpeq")
+	b.Li(prog.A0, 0)
+	b.Jump("cmpret")
+	b.Label("cmplt")
+	b.Li(prog.A0, -1)
+	b.Jump("cmpret")
+	b.Label("cmpgt")
+	b.Li(prog.A0, 1)
+	b.Label("cmpret")
+	g.Epilogue()
+
+	return b.Build()
+}

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "mpeg",
+		Description: "block decoder: code-table lookup, dequant, butterfly, dither (Berkeley MPEG analogue)",
+		Input:       "synthetic coefficient stream, 24+ blocks",
+		Build:       buildMpeg,
+	})
+	register(Benchmark{
+		Name:        "cjpeg",
+		Description: "block encoder: forward transform and quantisation over noise (JPEG encoder analogue)",
+		Input:       "128x128 pseudo-random grey image",
+		Build:       buildCjpeg,
+	})
+}
+
+func buildMpeg(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("mpeg", t)
+	r := newRNG(1010 + targetSalt(t.Name))
+	blocks := 22 * scale
+	stream := make([]byte, blocks*64)
+	for i := range stream {
+		// biased coefficient codes: most blocks are mostly zero
+		if r.intn(10) < 7 {
+			stream[i] = 0
+		} else {
+			stream[i] = byte(r.intn(256))
+		}
+	}
+	b.Bytes("stream", stream)
+	// Decode table: code byte -> signed coefficient (static: highly local
+	// loads).
+	decode := make([]int64, 256)
+	for i := range decode {
+		decode[i] = int64((i*7)%63) - 31
+	}
+	b.WordsPtr("decode", decode)
+	// Quantisation table, 64 entries (static).
+	quant := make([]int64, 64)
+	for i := range quant {
+		quant[i] = int64(8 + (i*3)%24)
+	}
+	b.WordsPtr("quant", quant)
+	// Dither table, 64 bytes (static).
+	dither := make([]byte, 64)
+	for i := range dither {
+		dither[i] = byte((i * 5) % 64)
+	}
+	b.Bytes("dither", dither)
+	b.Zeros("block", 64*8)
+	b.Zeros("errflag", 8)
+
+	sh := b.PtrShift()
+
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2)
+	b.Li(prog.S0, 0) // block index
+	b.MaterializeInt(prog.S1, int64(blocks))
+	b.Li(prog.S2, 0) // checksum
+	bloop, bdone := b.NewLabel("bloop"), b.NewLabel("bdone")
+	b.Label(bloop)
+	b.Branch(isa.BGE, prog.S0, prog.S1, bdone)
+	b.Mv(prog.A0, prog.S0)
+	b.Call("decodeBlock")
+	b.Op3(isa.ADD, prog.S2, prog.S2, prog.A0)
+	b.OpI(isa.ADDI, prog.S0, prog.S0, 1)
+	b.Jump(bloop)
+	b.Label(bdone)
+	b.ErrorCheck("errflag", "mpegfail")
+	b.Out(prog.S2)
+	f.Epilogue()
+
+	b.Label("mpegfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// decodeBlock(A0 = block index) -> A0 = block checksum.
+	g := b.Func("decodeBlock", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4, prog.S5)
+	g.MarkPtr(prog.S0, prog.S1, prog.S2, prog.S3, prog.S4)
+	b.GotData(prog.S0, "stream")
+	b.GotData(prog.S1, "decode")
+	b.GotData(prog.S2, "quant")
+	b.GotData(prog.S3, "block")
+	b.GotData(prog.S4, "dither")
+	b.OpI(isa.SHLI, prog.T0, prog.A0, 6) // block*64
+	b.Op3(isa.ADD, prog.S0, prog.S0, prog.T0)
+	// Phase 1: decode + dequant each coefficient.
+	b.Li(prog.S5, 0)
+	dloop, ddone := b.NewLabel("dloop"), b.NewLabel("ddone")
+	b.Label(dloop)
+	b.OpI(isa.SLTI, prog.T0, prog.S5, 64)
+	b.Branch(isa.BEQ, prog.T0, prog.Zero, ddone)
+	b.Op3(isa.ADD, prog.T1, prog.S0, prog.S5)
+	b.Load(isa.LBU, prog.T2, prog.T1, 0, isa.LoadIntData) // code byte (mostly 0)
+	b.OpI(isa.SHLI, prog.T3, prog.T2, sh)
+	b.Op3(isa.ADD, prog.T3, prog.T3, prog.S1)
+	b.LoadInt(prog.T4, prog.T3, 0) // decode[code] (static table)
+	b.OpI(isa.SHLI, prog.T5, prog.S5, sh)
+	b.Op3(isa.ADD, prog.T6, prog.T5, prog.S2)
+	b.LoadInt(prog.T7, prog.T6, 0) // quant[i] (static table)
+	b.Op3(isa.MUL, prog.T8, prog.T4, prog.T7)
+	b.OpI(isa.SHLI, prog.T5, prog.S5, 3)
+	b.Op3(isa.ADD, prog.T5, prog.T5, prog.S3)
+	b.Store(isa.SD, prog.T8, prog.T5, 0)
+	b.OpI(isa.ADDI, prog.S5, prog.S5, 1)
+	b.Jump(dloop)
+	b.Label(ddone)
+	// Phase 2: butterfly pass over the block (rows of 8).
+	b.Li(prog.S5, 0)
+	floop, fdone := b.NewLabel("floop"), b.NewLabel("fdone")
+	b.Label(floop)
+	b.OpI(isa.SLTI, prog.T0, prog.S5, 32)
+	b.Branch(isa.BEQ, prog.T0, prog.Zero, fdone)
+	b.OpI(isa.SHLI, prog.T1, prog.S5, 3)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.S3)
+	b.Load(isa.LD, prog.T2, prog.T1, 0, isa.LoadIntData)
+	b.Load(isa.LD, prog.T3, prog.T1, 32*8, isa.LoadIntData)
+	b.Op3(isa.ADD, prog.T4, prog.T2, prog.T3)
+	b.Op3(isa.SUB, prog.T5, prog.T2, prog.T3)
+	b.Store(isa.SD, prog.T4, prog.T1, 0)
+	b.Store(isa.SD, prog.T5, prog.T1, 32*8)
+	b.OpI(isa.ADDI, prog.S5, prog.S5, 1)
+	b.Jump(floop)
+	b.Label(fdone)
+	// Phase 3: dither and accumulate.
+	b.Li(prog.S5, 0)
+	b.Li(prog.A0, 0)
+	hloop, hdone := b.NewLabel("hloop"), b.NewLabel("hdone")
+	b.Label(hloop)
+	b.OpI(isa.SLTI, prog.T0, prog.S5, 64)
+	b.Branch(isa.BEQ, prog.T0, prog.Zero, hdone)
+	b.OpI(isa.SHLI, prog.T1, prog.S5, 3)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.S3)
+	b.Load(isa.LD, prog.T2, prog.T1, 0, isa.LoadIntData)
+	b.OpI(isa.SRAI, prog.T3, prog.T2, 2)
+	b.OpI(isa.ANDI, prog.T3, prog.T3, 63)
+	b.Op3(isa.ADD, prog.T4, prog.T3, prog.S4)
+	b.Load(isa.LBU, prog.T5, prog.T4, 0, isa.LoadIntData) // dither table
+	b.Op3(isa.ADD, prog.A0, prog.A0, prog.T5)
+	b.OpI(isa.ADDI, prog.S5, prog.S5, 1)
+	b.Jump(hloop)
+	b.Label(hdone)
+	g.Epilogue()
+
+	return b.Build()
+}
+
+func buildCjpeg(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("cjpeg", t)
+	r := newRNG(1111 + targetSalt(t.Name))
+	width := 128
+	height := 64 * scale
+	img := make([]byte, width*height)
+	for i := range img {
+		// Noise image: every pixel load fetches a fresh value, which is
+		// what gives cjpeg its poor value locality in the paper.
+		img[i] = byte(r.next())
+	}
+	b.Bytes("img", img)
+	quant := make([]int64, 64)
+	for i := range quant {
+		quant[i] = int64(8 + (i*5)%32)
+	}
+	b.WordsPtr("quant", quant)
+	b.Zeros("work", 64*8)
+	b.Zeros("errflag", 8)
+
+	sh := b.PtrShift()
+
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2, prog.S3)
+	b.Li(prog.S0, 0) // block row
+	b.MaterializeInt(prog.S1, int64(height/8))
+	b.Li(prog.S3, 0) // checksum
+	rloop, rdone := b.NewLabel("rloop"), b.NewLabel("rdone")
+	b.Label(rloop)
+	b.Branch(isa.BGE, prog.S0, prog.S1, rdone)
+	b.Li(prog.S2, 0) // block col
+	cloop, cdone := b.NewLabel("cloop"), b.NewLabel("cdone")
+	b.Label(cloop)
+	b.MaterializeInt(prog.T0, int64(width/8))
+	b.Branch(isa.BGE, prog.S2, prog.T0, cdone)
+	b.Mv(prog.A0, prog.S0)
+	b.Mv(prog.A1, prog.S2)
+	b.Call("encodeBlock")
+	b.Op3(isa.ADD, prog.S3, prog.S3, prog.A0)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Jump(cloop)
+	b.Label(cdone)
+	b.OpI(isa.ADDI, prog.S0, prog.S0, 1)
+	b.Jump(rloop)
+	b.Label(rdone)
+	b.ErrorCheck("errflag", "cjpegfail")
+	b.Out(prog.S3)
+	f.Epilogue()
+
+	b.Label("cjpegfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// encodeBlock(A0 = brow, A1 = bcol) -> A0 = quantised checksum.
+	g := b.Func("encodeBlock", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4)
+	g.MarkPtr(prog.S0, prog.S1, prog.S2)
+	b.GotData(prog.S0, "img")
+	b.GotData(prog.S1, "work")
+	b.GotData(prog.S2, "quant")
+	// pixel base = img + (brow*8*width + bcol*8)
+	b.MaterializeInt(prog.T0, int64(width)*8)
+	b.Op3(isa.MUL, prog.T1, prog.A0, prog.T0)
+	b.OpI(isa.SHLI, prog.T2, prog.A1, 3)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.T2)
+	b.Op3(isa.ADD, prog.S0, prog.S0, prog.T1)
+	// Load the 8x8 block into work[], levelled by -128.
+	b.Li(prog.S3, 0) // row
+	lrow, lrowd := b.NewLabel("lrow"), b.NewLabel("lrowd")
+	b.Label(lrow)
+	b.OpI(isa.SLTI, prog.T0, prog.S3, 8)
+	b.Branch(isa.BEQ, prog.T0, prog.Zero, lrowd)
+	b.MaterializeInt(prog.T1, int64(width))
+	b.Op3(isa.MUL, prog.T1, prog.S3, prog.T1)
+	b.Op3(isa.ADD, prog.T1, prog.T1, prog.S0) // &img row
+	b.OpI(isa.SHLI, prog.T2, prog.S3, 6)      // row*8 entries *8 bytes
+	b.Op3(isa.ADD, prog.T2, prog.T2, prog.S1) // &work row
+	for col := int64(0); col < 8; col++ {
+		b.Load(isa.LBU, prog.T3, prog.T1, col, isa.LoadIntData) // pixel (noise)
+		b.OpI(isa.ADDI, prog.T3, prog.T3, -128)
+		b.Store(isa.SD, prog.T3, prog.T2, col*8)
+	}
+	b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	b.Jump(lrow)
+	b.Label(lrowd)
+	// Forward butterfly (two stages) over the 64 work entries.
+	for _, half := range []int64{32, 16} {
+		b.Li(prog.S3, 0)
+		fl, fld := b.NewLabel("fl"), b.NewLabel("fld")
+		b.Label(fl)
+		b.MaterializeInt(prog.T0, half)
+		b.Branch(isa.BGE, prog.S3, prog.T0, fld)
+		b.OpI(isa.SHLI, prog.T1, prog.S3, 3)
+		b.Op3(isa.ADD, prog.T1, prog.T1, prog.S1)
+		b.Load(isa.LD, prog.T2, prog.T1, 0, isa.LoadIntData)
+		b.Load(isa.LD, prog.T3, prog.T1, half*8, isa.LoadIntData)
+		b.Op3(isa.ADD, prog.T4, prog.T2, prog.T3)
+		b.Op3(isa.SUB, prog.T5, prog.T2, prog.T3)
+		b.Store(isa.SD, prog.T4, prog.T1, 0)
+		b.Store(isa.SD, prog.T5, prog.T1, half*8)
+		b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+		b.Jump(fl)
+		b.Label(fld)
+	}
+	// Quantise: work[i] / quant[i], accumulate |q|.
+	b.Li(prog.S3, 0)
+	b.Li(prog.S4, 0)
+	ql, qld := b.NewLabel("ql"), b.NewLabel("qld")
+	b.Label(ql)
+	b.OpI(isa.SLTI, prog.T0, prog.S3, 64)
+	b.Branch(isa.BEQ, prog.T0, prog.Zero, qld)
+	b.OpI(isa.SHLI, prog.T1, prog.S3, 3)
+	b.Op3(isa.ADD, prog.T2, prog.T1, prog.S1)
+	b.Load(isa.LD, prog.T3, prog.T2, 0, isa.LoadIntData) // transformed (noise)
+	b.OpI(isa.SHLI, prog.T4, prog.S3, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S2)
+	b.LoadInt(prog.T5, prog.T4, 0) // quant[i] (static)
+	b.Op3(isa.DIV, prog.T6, prog.T3, prog.T5)
+	neg := b.NewLabel("neg")
+	pos := b.NewLabel("pos")
+	b.Branch(isa.BLT, prog.T6, prog.Zero, neg)
+	b.Jump(pos)
+	b.Label(neg)
+	b.Op3(isa.SUB, prog.T6, prog.Zero, prog.T6)
+	b.Label(pos)
+	b.Op3(isa.ADD, prog.S4, prog.S4, prog.T6)
+	b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	b.Jump(ql)
+	b.Label(qld)
+	b.Mv(prog.A0, prog.S4)
+	g.Epilogue()
+
+	return b.Build()
+}

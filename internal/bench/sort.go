@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "quick",
+		Description: "recursive quicksort with self-check",
+		Input:       "600+ random integers",
+		Build:       buildQuick,
+	})
+}
+
+func buildQuick(t prog.Target, scale int) (*prog.Program, error) {
+	scale = clampScale(scale)
+	b := prog.New("quick", t)
+	r := newRNG(707 + targetSalt(t.Name))
+	n := 500 + 140*scale
+	arr := make([]int64, n)
+	for i := range arr {
+		arr[i] = int64(r.intn(1 << 20))
+	}
+	b.WordsPtr("arr", arr)
+	b.Zeros("errflag", 8)
+
+	sh := b.PtrShift()
+	ptrb := b.PtrBytes()
+
+	// main: qsort(0, n-1), then verify sortedness (the self-check loads
+	// sweep the sorted array once).
+	f := b.Func("main", 0, prog.S0, prog.S1, prog.S2)
+	f.MarkPtr(prog.S0)
+	b.Li(prog.A0, 0)
+	b.MaterializeInt(prog.A1, int64(n-1))
+	b.Call("qsort")
+	b.GotData(prog.S0, "arr")
+	b.Li(prog.S1, 1) // i
+	b.MaterializeInt(prog.S2, int64(n))
+	vloop, vfail, vdone := b.NewLabel("vloop"), b.NewLabel("vfail"), b.NewLabel("vdone")
+	b.Label(vloop)
+	b.Branch(isa.BGE, prog.S1, prog.S2, vdone)
+	b.OpI(isa.SHLI, prog.T0, prog.S1, sh)
+	b.Op3(isa.ADD, prog.T0, prog.T0, prog.S0)
+	b.LoadInt(prog.T1, prog.T0, 0)
+	b.LoadInt(prog.T2, prog.T0, -ptrb)
+	b.Branch(isa.BLT, prog.T1, prog.T2, vfail)
+	b.OpI(isa.ADDI, prog.S1, prog.S1, 1)
+	b.Jump(vloop)
+	b.Label(vdone)
+	b.ErrorCheck("errflag", "quickfail")
+	b.Li(prog.T3, 1)
+	b.Out(prog.T3) // sorted == true
+	// checksum of first and last elements
+	b.LoadInt(prog.T4, prog.S0, 0)
+	b.Out(prog.T4)
+	f.Epilogue()
+
+	b.Label(vfail)
+	b.Label("quickfail")
+	b.Li(prog.A0, -1)
+	b.Out(prog.A0)
+	b.Halt()
+
+	// qsort(A0 = lo, A1 = hi): Lomuto partition, recursive. The frames
+	// produce the spill/restore and link-register reloads that give
+	// "quick" its (modest) value locality in the paper — the element
+	// loads themselves are random data.
+	g := b.Func("qsort", 0, prog.S0, prog.S1, prog.S2, prog.S3, prog.S4)
+	g.MarkPtr(prog.S4)
+	qret := b.NewLabel("qret")
+	b.Branch(isa.BGE, prog.A0, prog.A1, qret)
+	b.Mv(prog.S0, prog.A0) // lo
+	b.Mv(prog.S1, prog.A1) // hi
+	b.GotData(prog.S4, "arr")
+	// pivot = arr[hi]
+	b.OpI(isa.SHLI, prog.T0, prog.S1, sh)
+	b.Op3(isa.ADD, prog.T0, prog.T0, prog.S4)
+	b.LoadInt(prog.T1, prog.T0, 0) // pivot value
+	b.Mv(prog.S2, prog.S0)         // store index i
+	b.Mv(prog.S3, prog.S0)         // scan index j
+	ploop, pdone := b.NewLabel("ploop"), b.NewLabel("pdone")
+	b.Label(ploop)
+	b.Branch(isa.BGE, prog.S3, prog.S1, pdone)
+	b.OpI(isa.SHLI, prog.T2, prog.S3, sh)
+	b.Op3(isa.ADD, prog.T2, prog.T2, prog.S4)
+	b.LoadInt(prog.T3, prog.T2, 0) // arr[j] (random data: poor locality)
+	noswap := b.NewLabel("noswap")
+	b.Branch(isa.BGE, prog.T3, prog.T1, noswap)
+	// swap arr[i], arr[j]
+	b.OpI(isa.SHLI, prog.T4, prog.S2, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S4)
+	b.LoadInt(prog.T5, prog.T4, 0)
+	b.StoreInt(prog.T3, prog.T4, 0)
+	b.StoreInt(prog.T5, prog.T2, 0)
+	b.OpI(isa.ADDI, prog.S2, prog.S2, 1)
+	b.Label(noswap)
+	b.OpI(isa.ADDI, prog.S3, prog.S3, 1)
+	b.Jump(ploop)
+	b.Label(pdone)
+	// swap arr[i], arr[hi]
+	b.OpI(isa.SHLI, prog.T4, prog.S2, sh)
+	b.Op3(isa.ADD, prog.T4, prog.T4, prog.S4)
+	b.OpI(isa.SHLI, prog.T6, prog.S1, sh)
+	b.Op3(isa.ADD, prog.T6, prog.T6, prog.S4)
+	b.LoadInt(prog.T5, prog.T4, 0)
+	b.LoadInt(prog.T7, prog.T6, 0)
+	b.StoreInt(prog.T7, prog.T4, 0)
+	b.StoreInt(prog.T5, prog.T6, 0)
+	// recurse: qsort(lo, i-1); qsort(i+1, hi)
+	b.Mv(prog.A0, prog.S0)
+	b.OpI(isa.ADDI, prog.A1, prog.S2, -1)
+	b.Call("qsort")
+	b.OpI(isa.ADDI, prog.A0, prog.S2, 1)
+	b.Mv(prog.A1, prog.S1)
+	b.Call("qsort")
+	b.Label(qret)
+	g.Epilogue()
+
+	return b.Build()
+}

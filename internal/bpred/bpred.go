@@ -1,0 +1,147 @@
+// Package bpred provides the branch-prediction substrate used by both
+// machine models: a table of 2-bit saturating counters (BHT) for
+// conditional-branch direction, a BTB for indirect-branch targets, and a
+// return-address stack.
+package bpred
+
+import "lvp/internal/isa"
+
+// Config sizes the predictor. The defaults mirror the PowerPC 620's
+// 2048-entry BHT and 256-entry BTAC.
+type Config struct {
+	BHTEntries int
+	BTBEntries int
+	RASDepth   int
+}
+
+// Default620 is the PowerPC 620's predictor configuration.
+var Default620 = Config{BHTEntries: 2048, BTBEntries: 256, RASDepth: 8}
+
+// Default21164 approximates the Alpha 21164's per-line history predictor
+// with a same-capacity BHT.
+var Default21164 = Config{BHTEntries: 2048, BTBEntries: 256, RASDepth: 12}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	CondBranches   int
+	CondMispredict int
+	Indirect       int
+	IndirectMiss   int
+}
+
+// CondAccuracy is the conditional-branch direction accuracy.
+func (s Stats) CondAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(s.CondMispredict)/float64(s.CondBranches)
+}
+
+// Predictor is a BHT + BTB + RAS branch predictor.
+type Predictor struct {
+	bht   []uint8
+	bhtM  uint64
+	btb   []btbEntry
+	btbM  uint64
+	ras   []uint64
+	rasSz int
+	stats Stats
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// New builds a predictor (table sizes rounded up to powers of two).
+func New(cfg Config) *Predictor {
+	p := &Predictor{rasSz: cfg.RASDepth}
+	nb := ceilPow2(cfg.BHTEntries)
+	p.bht = make([]uint8, nb)
+	p.bhtM = uint64(nb - 1)
+	// Weakly-taken initial state.
+	for i := range p.bht {
+		p.bht[i] = 2
+	}
+	nt := ceilPow2(cfg.BTBEntries)
+	p.btb = make([]btbEntry, nt)
+	p.btbM = uint64(nt - 1)
+	return p
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Stats returns the accumulated outcome counts.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func (p *Predictor) bhtIdx(pc uint64) int { return int((pc / isa.InstBytes) & p.bhtM) }
+func (p *Predictor) btbIdx(pc uint64) int { return int((pc / isa.InstBytes) & p.btbM) }
+
+// PredictCond predicts the direction of the conditional branch at pc.
+func (p *Predictor) PredictCond(pc uint64) bool {
+	return p.bht[p.bhtIdx(pc)] >= 2
+}
+
+// ResolveCond trains the BHT and reports whether the branch mispredicted.
+func (p *Predictor) ResolveCond(pc uint64, taken bool) (mispredicted bool) {
+	p.stats.CondBranches++
+	pred := p.PredictCond(pc)
+	i := p.bhtIdx(pc)
+	if taken {
+		if p.bht[i] < 3 {
+			p.bht[i]++
+		}
+	} else if p.bht[i] > 0 {
+		p.bht[i]--
+	}
+	if pred != taken {
+		p.stats.CondMispredict++
+		return true
+	}
+	return false
+}
+
+// ResolveIndirect predicts the target of an indirect transfer via the BTB,
+// trains it with the actual target, and reports a target mispredict.
+func (p *Predictor) ResolveIndirect(pc, actual uint64) (mispredicted bool) {
+	p.stats.Indirect++
+	i := p.btbIdx(pc)
+	e := &p.btb[i]
+	hit := e.valid && e.tag == pc && e.target == actual
+	e.tag, e.target, e.valid = pc, actual, true
+	if !hit {
+		p.stats.IndirectMiss++
+		return true
+	}
+	return false
+}
+
+// Call pushes a return address on the RAS.
+func (p *Predictor) Call(returnAddr uint64) {
+	if len(p.ras) >= p.rasSz && p.rasSz > 0 {
+		copy(p.ras, p.ras[1:])
+		p.ras = p.ras[:len(p.ras)-1]
+	}
+	p.ras = append(p.ras, returnAddr)
+}
+
+// Return pops and reports whether the RAS correctly predicted the actual
+// return target.
+func (p *Predictor) Return(actual uint64) (correct bool) {
+	if len(p.ras) == 0 {
+		return false
+	}
+	top := p.ras[len(p.ras)-1]
+	p.ras = p.ras[:len(p.ras)-1]
+	return top == actual
+}

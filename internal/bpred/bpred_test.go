@@ -1,0 +1,117 @@
+package bpred
+
+import (
+	"testing"
+
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+func TestBHTLearnsBias(t *testing.T) {
+	p := New(Default620)
+	pc := uint64(0x1000)
+	// Train taken.
+	for range 10 {
+		p.ResolveCond(pc, true)
+	}
+	if !p.PredictCond(pc) {
+		t.Error("BHT should predict taken after training")
+	}
+	// One not-taken blip must not flip a saturated counter.
+	p.ResolveCond(pc, false)
+	if !p.PredictCond(pc) {
+		t.Error("2-bit hysteresis should survive one blip")
+	}
+}
+
+func TestBHTAlternatingMispredicts(t *testing.T) {
+	p := New(Default620)
+	pc := uint64(0x1000)
+	for i := range 100 {
+		p.ResolveCond(pc, i%2 == 0)
+	}
+	st := p.Stats()
+	if st.CondBranches != 100 {
+		t.Fatalf("branches = %d", st.CondBranches)
+	}
+	if st.CondAccuracy() > 0.7 {
+		t.Errorf("alternating pattern accuracy %.2f; 2-bit BHT should do poorly", st.CondAccuracy())
+	}
+}
+
+func TestBTBIndirect(t *testing.T) {
+	p := New(Default620)
+	pc := uint64(0x2000)
+	if !p.ResolveIndirect(pc, 0x5000) {
+		t.Error("first indirect must miss")
+	}
+	if p.ResolveIndirect(pc, 0x5000) {
+		t.Error("repeated target must hit")
+	}
+	if !p.ResolveIndirect(pc, 0x6000) {
+		t.Error("changed target must miss")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(Config{BHTEntries: 16, BTBEntries: 16, RASDepth: 2})
+	p.Call(0x100)
+	p.Call(0x200)
+	if !p.Return(0x200) || !p.Return(0x100) {
+		t.Error("RAS should predict nested returns")
+	}
+	if p.Return(0x300) {
+		t.Error("empty RAS must mispredict")
+	}
+	// Overflow drops the oldest entry.
+	p.Call(0x1)
+	p.Call(0x2)
+	p.Call(0x3)
+	if !p.Return(0x3) || !p.Return(0x2) {
+		t.Error("newest entries must survive overflow")
+	}
+	if p.Return(0x1) {
+		t.Error("oldest entry should have been dropped")
+	}
+}
+
+func TestResolvePolicy(t *testing.T) {
+	p := New(Default620)
+	// Direct call never mispredicts and pushes the RAS.
+	call := &trace.Record{PC: 0x1000, Op: isa.JAL, Rd: 31, Taken: true, Targ: 0x2000}
+	if p.Resolve(call) {
+		t.Error("direct call must not mispredict")
+	}
+	// Matching return hits the RAS.
+	ret := &trace.Record{PC: 0x2010, Op: isa.JALR, Rd: 0, Ra: 31, Taken: true, Targ: 0x1004}
+	if p.Resolve(ret) {
+		t.Error("return to pushed address must predict")
+	}
+	// Return with empty RAS mispredicts.
+	if !p.Resolve(ret) {
+		t.Error("return with empty RAS must mispredict")
+	}
+	// Conditional branch flows into the BHT.
+	cond := &trace.Record{PC: 0x3000, Op: isa.BEQ, Taken: true, Targ: 0x3010}
+	p.Resolve(cond)
+	if p.Stats().CondBranches != 1 {
+		t.Error("conditional branch not counted")
+	}
+	// Indirect jump uses the BTB.
+	ind := &trace.Record{PC: 0x4000, Op: isa.JALR, Rd: 0, Ra: 5, Taken: true, Targ: 0x9000}
+	if !p.Resolve(ind) {
+		t.Error("first indirect jump must mispredict")
+	}
+	if p.Resolve(ind) {
+		t.Error("repeated indirect jump must predict")
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 1000: 1024, 2048: 2048}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

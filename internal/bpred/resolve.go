@@ -1,0 +1,34 @@
+package bpred
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+// Resolve consults and trains the predictor for one dynamic control-transfer
+// record and reports whether it mispredicted (direction or target). Both
+// machine models share this policy: conditional branches through the BHT,
+// returns through the RAS, other indirect transfers through the BTB, and
+// direct jumps/calls always predicted (fetched via the BTAC).
+func (p *Predictor) Resolve(r *trace.Record) bool {
+	const linkReg = isa.Reg(31)
+	switch {
+	case isa.IsCondBranch(r.Op):
+		return p.ResolveCond(r.PC, r.Taken)
+	case r.Op == isa.JAL:
+		if r.Rd == linkReg {
+			p.Call(r.PC + isa.InstBytes)
+		}
+		return false
+	case r.Op == isa.JALR:
+		if r.Rd == linkReg { // indirect call
+			p.Call(r.PC + isa.InstBytes)
+			return p.ResolveIndirect(r.PC, r.Targ)
+		}
+		if r.Ra == linkReg { // return
+			return !p.Return(r.Targ)
+		}
+		return p.ResolveIndirect(r.PC, r.Targ)
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small() Config {
+	return Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Banks: 2}
+}
+
+func TestValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "x", SizeBytes: 0, LineBytes: 64, Assoc: 1, Banks: 1},
+		{Name: "x", SizeBytes: 1024, LineBytes: 48, Assoc: 1, Banks: 1},
+		{Name: "x", SizeBytes: 1000, LineBytes: 64, Assoc: 1, Banks: 1},
+		{Name: "x", SizeBytes: 1024, LineBytes: 64, Assoc: 3, Banks: 1}, // sets not pow2
+		{Name: "x", SizeBytes: 1024, LineBytes: 64, Assoc: 1, Banks: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(small())
+	if c.Access(0x1000) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("repeat access must hit")
+	}
+	if !c.Access(0x1001) {
+		t.Error("same-line access must hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line must miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 4 accesses / 2 misses", st)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 1024B / 64B = 16 lines / 2-way = 8 sets. Three lines in one set.
+	c := MustNew(small())
+	base := uint64(0x10000)
+	a, b, d := base, base+8*64, base+16*64 // all map to set 0
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // refresh a
+	c.Access(d) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	c := MustNew(small())
+	c.Probe(0x1000)
+	if st := c.Stats(); st.Accesses != 0 {
+		t.Error("probe must not count as an access")
+	}
+	if c.Access(0x1000) {
+		t.Error("probe must not allocate")
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	c := MustNew(small())
+	if c.Bank(0x0) == c.Bank(0x40) {
+		t.Error("adjacent lines must map to different banks (2-bank interleave)")
+	}
+	if c.Bank(0x0) != c.Bank(0x80) {
+		t.Error("lines two apart must share a bank")
+	}
+	if c.Bank(0x0) != c.Bank(0x3F) {
+		t.Error("same line must be one bank")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := &Hierarchy{
+		L1:        MustNew(Config{Name: "l1", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Banks: 1}),
+		L2:        MustNew(Config{Name: "l2", SizeBytes: 8192, LineBytes: 64, Assoc: 2, Banks: 1}),
+		L1Latency: 2, L2Latency: 8, MemLatency: 40,
+	}
+	if r := h.Access(0x1000); r.Latency != 40 || r.L1Hit || r.L2Hit {
+		t.Errorf("cold access = %+v, want memory latency", r)
+	}
+	if r := h.Access(0x1000); r.Latency != 2 || !r.L1Hit {
+		t.Errorf("warm access = %+v, want L1 hit", r)
+	}
+	// Evict from L1 (small) but not L2: 17 distinct lines into 8 sets.
+	for i := uint64(1); i <= 32; i++ {
+		h.Access(0x1000 + i*64)
+	}
+	if r := h.Access(0x1000); r.Latency != 8 || !r.L2Hit {
+		t.Errorf("L1-evicted access = %+v, want L2 hit", r)
+	}
+}
+
+func TestMissRateProperty(t *testing.T) {
+	// Property: a working set that fits the cache converges to hits.
+	c := MustNew(Config{Name: "t", SizeBytes: 4096, LineBytes: 64, Assoc: 4, Banks: 1})
+	rnd := rand.New(rand.NewSource(1))
+	lines := []uint64{0, 64, 128, 192, 256} // 5 lines, far under capacity
+	for range 1000 {
+		c.Access(lines[rnd.Intn(len(lines))])
+	}
+	st := c.Stats()
+	if st.Misses > len(lines) {
+		t.Errorf("resident working set missed %d times, want <= %d", st.Misses, len(lines))
+	}
+	if st.MissRate() > 0.01 {
+		t.Errorf("miss rate %.3f too high for resident set", st.MissRate())
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats must report zero miss rate")
+	}
+}

@@ -1,0 +1,141 @@
+// Package dfg computes dataflow (true-dependence) limits of a trace: the
+// fastest possible execution on a machine with infinite resources and
+// perfect control prediction, bounded only by register dataflow and
+// instruction latencies. Comparing the limit with loads at full latency
+// against the limit with correctly-predicted loads collapsed to zero cycles
+// isolates the paper's central claim — that load value prediction "collapses
+// true dependencies" — from any particular machine configuration.
+package dfg
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+// Latencies gives per-class result latencies for the limit computation.
+// The defaults mirror the 620 column of paper Table 5.
+type Latencies struct {
+	SimpleInt int
+	Mul       int
+	Div       int
+	Load      int
+	Store     int
+	SimpleFP  int
+	ComplexFP int
+	Branch    int
+}
+
+// Default620 returns the 620-flavoured latency set.
+func Default620() Latencies {
+	return Latencies{
+		SimpleInt: 1, Mul: 4, Div: 35,
+		Load: 2, Store: 1,
+		SimpleFP: 3, ComplexFP: 18,
+		Branch: 1,
+	}
+}
+
+func (l Latencies) of(op isa.Op) int {
+	switch isa.ClassOf(op) {
+	case isa.ClassComplexInt:
+		if op == isa.MUL {
+			return l.Mul
+		}
+		return l.Div
+	case isa.ClassLoad:
+		return l.Load
+	case isa.ClassStore:
+		return l.Store
+	case isa.ClassSimpleFP:
+		return l.SimpleFP
+	case isa.ClassComplexFP:
+		return l.ComplexFP
+	case isa.ClassBranch:
+		return l.Branch
+	default:
+		return l.SimpleInt
+	}
+}
+
+// Result summarises one dataflow-limit computation.
+type Result struct {
+	// CriticalPath is the longest register-dataflow chain in cycles.
+	CriticalPath int
+	// Instructions is the trace length.
+	Instructions int
+	// CollapsedLoads counts loads whose latency the annotation removed.
+	CollapsedLoads int
+}
+
+// LimitIPC is the dataflow-limit instructions-per-cycle.
+func (r Result) LimitIPC() float64 {
+	if r.CriticalPath == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.CriticalPath)
+}
+
+// Analyze computes the dataflow limit of a trace. If ann is non-nil, loads
+// annotated PredCorrect or PredConstant contribute zero latency (their
+// values were forwarded at dispatch); all other instructions use their
+// class latency. Memory dependences are honoured conservatively: a load
+// depends on the latest older store that overlaps its address.
+func Analyze(t *trace.Trace, ann trace.Annotation, lat Latencies) Result {
+	var readyG, readyF [isa.NumRegs]int
+	// lastStoreDone maps 8-byte-aligned addresses to the completion time
+	// of the last store covering them.
+	lastStoreDone := make(map[uint64]int)
+	res := Result{Instructions: len(t.Records)}
+	critical := 0
+
+	for i := range t.Records {
+		r := &t.Records[i]
+		in := r.Inst()
+		start := 0
+		var srcs [4]isa.RegRef
+		for _, ref := range isa.Sources(in, srcs[:0]) {
+			var rc int
+			if ref.FP {
+				rc = readyF[ref.Reg]
+			} else if ref.Reg != isa.R0 {
+				rc = readyG[ref.Reg]
+			}
+			if rc > start {
+				start = rc
+			}
+		}
+		latency := lat.of(r.Op)
+		if r.IsLoad() {
+			// Memory dependence on the most recent overlapping store.
+			for a := r.Addr &^ 7; a < r.Addr+uint64(r.Size); a += 8 {
+				if d := lastStoreDone[a]; d > start {
+					start = d
+				}
+			}
+			if ann != nil && (ann[i] == trace.PredCorrect || ann[i] == trace.PredConstant) {
+				latency = 0 // collapsed true dependence
+				res.CollapsedLoads++
+			}
+		}
+		done := start + latency
+		if r.IsStore() {
+			for a := r.Addr &^ 7; a < r.Addr+uint64(r.Size); a += 8 {
+				if done > lastStoreDone[a] {
+					lastStoreDone[a] = done
+				}
+			}
+		}
+		if ref, ok := isa.Dest(in); ok {
+			if ref.FP {
+				readyF[ref.Reg] = done
+			} else {
+				readyG[ref.Reg] = done
+			}
+		}
+		if done > critical {
+			critical = done
+		}
+	}
+	res.CriticalPath = critical
+	return res
+}

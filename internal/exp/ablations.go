@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"lvp/internal/bench"
+	"lvp/internal/locality"
+	"lvp/internal/lvp"
+	"lvp/internal/prog"
+	"lvp/internal/report"
+	"lvp/internal/stats"
+)
+
+// The ablation studies below are not paper figures; they exercise the
+// design-space directions the paper's §7 calls out (table sizing,
+// classification, and predictors beyond last-value).
+
+// LVPTSweepResult holds prediction coverage (fraction of loads predicted
+// correctly, Simple-style unit) as the LVPT size grows.
+type LVPTSweepResult struct {
+	Sizes []int
+	// Coverage[i] is the suite geometric-mean coverage at Sizes[i].
+	Coverage []float64
+}
+
+// LVPTSweep measures untagged-table interference: coverage vs LVPT entries
+// on the PPC target.
+func (s *Suite) LVPTSweep(sizes []int) (*LVPTSweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{256, 512, 1024, 2048, 4096, 8192}
+	}
+	res := &LVPTSweepResult{Sizes: sizes, Coverage: make([]float64, len(sizes))}
+	for i, size := range sizes {
+		cfg := lvp.Simple
+		cfg.Name = fmt.Sprintf("Simple/%d", size)
+		cfg.LVPTEntries = size
+		var mu sync.Mutex
+		var covs []float64
+		err := s.forEachBench(func(b bench.Benchmark) error {
+			st, err := s.AnnotationStats(b.Name, prog.PPC, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			covs = append(covs, st.Coverage())
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Coverage[i] = stats.GeoMean(covs)
+	}
+	return res, nil
+}
+
+// Render writes the sweep.
+func (r *LVPTSweepResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Ablation: LVPT size vs prediction coverage (GM over suite, PPC, Simple LCT/CVU)",
+		Columns: []string{"LVPT entries", "Coverage"},
+	}
+	for i, sz := range r.Sizes {
+		t.AddRow(sz, stats.Pct(r.Coverage[i], 1))
+	}
+	t.Render(w)
+}
+
+// LCTBitsResult compares classifier widths.
+type LCTBitsResult struct {
+	Bits     []int
+	Accuracy []float64 // GM prediction accuracy when predicting
+	Coverage []float64 // GM fraction of loads predicted correctly
+}
+
+// LCTBitsSweep measures classification quality vs counter width.
+func (s *Suite) LCTBitsSweep(bits []int) (*LCTBitsResult, error) {
+	if len(bits) == 0 {
+		bits = []int{1, 2, 3}
+	}
+	res := &LCTBitsResult{Bits: bits,
+		Accuracy: make([]float64, len(bits)), Coverage: make([]float64, len(bits))}
+	for i, b := range bits {
+		cfg := lvp.Simple
+		cfg.Name = fmt.Sprintf("Simple/lct%d", b)
+		cfg.LCTBits = b
+		var mu sync.Mutex
+		var accs, covs []float64
+		err := s.forEachBench(func(bm bench.Benchmark) error {
+			st, err := s.AnnotationStats(bm.Name, prog.PPC, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			accs = append(accs, st.Accuracy())
+			covs = append(covs, st.Coverage())
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracy[i] = stats.GeoMean(accs)
+		res.Coverage[i] = stats.GeoMean(covs)
+	}
+	return res, nil
+}
+
+// Render writes the sweep.
+func (r *LCTBitsResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Ablation: LCT counter width (GM over suite, PPC)",
+		Columns: []string{"Bits", "Accuracy", "Coverage"},
+	}
+	for i, b := range r.Bits {
+		t.AddRow(b, stats.Pct(r.Accuracy[i], 1), stats.Pct(r.Coverage[i], 1))
+	}
+	t.Render(w)
+}
+
+// CVUSweepResult holds constant coverage vs CVU capacity.
+type CVUSweepResult struct {
+	Sizes     []int
+	ConstRate []float64
+}
+
+// CVUSweep measures the CVU-capacity sensitivity of constant verification.
+func (s *Suite) CVUSweep(sizes []int) (*CVUSweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64, 128, 256}
+	}
+	res := &CVUSweepResult{Sizes: sizes, ConstRate: make([]float64, len(sizes))}
+	for i, size := range sizes {
+		cfg := lvp.Constant
+		cfg.Name = fmt.Sprintf("Constant/cvu%d", size)
+		cfg.CVUEntries = size
+		var mu sync.Mutex
+		var rates []float64
+		err := s.forEachBench(func(b bench.Benchmark) error {
+			st, err := s.AnnotationStats(b.Name, prog.PPC, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			rates = append(rates, st.ConstantRate())
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.ConstRate[i] = stats.Mean(rates)
+	}
+	return res, nil
+}
+
+// Render writes the sweep.
+func (r *CVUSweepResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Ablation: CVU capacity vs constant-identification rate (mean over suite, PPC)",
+		Columns: []string{"CVU entries", "Constant rate"},
+	}
+	for i, sz := range r.Sizes {
+		t.AddRow(sz, stats.Pct(r.ConstRate[i], 1))
+	}
+	t.Render(w)
+}
+
+// PredictorRow compares predictor accuracies for one benchmark (paper §7:
+// stride detection, context prediction and multi-value tables as future
+// work).
+type PredictorRow struct {
+	Name      string
+	LastValue float64
+	TwoValue  float64 // buildable depth-2 with a trained selector
+	Stride    float64
+	Context   float64
+	Locality1 float64 // depth-1 value locality (upper bound for last-value)
+}
+
+// PredictorResult is the predictor-comparison dataset.
+type PredictorResult struct {
+	Rows []PredictorRow
+	GM   [5]float64
+}
+
+// PredictorStudy measures last-value vs stride vs order-2 context
+// prediction accuracy over the suite (PPC target, 1K-entry tables).
+func (s *Suite) PredictorStudy() (*PredictorResult, error) {
+	res := &PredictorResult{Rows: make([]PredictorRow, len(bench.All()))}
+	idx := indexOf()
+	var mu sync.Mutex
+	err := s.forEachBench(func(b bench.Benchmark) error {
+		t, err := s.Trace(b.Name, prog.PPC)
+		if err != nil {
+			return err
+		}
+		lv := lvp.MeasureAccuracy(t, lvp.NewLastValue(1024))
+		tv := lvp.MeasureAccuracy(t, lvp.NewTwoValue(1024))
+		st := lvp.MeasureAccuracy(t, lvp.NewStride(1024))
+		cx := lvp.MeasureAccuracy(t, lvp.NewContext(1024, 4096))
+		loc := locality.Measure(t, 1024, 1)
+		mu.Lock()
+		res.Rows[idx[b.Name]] = PredictorRow{
+			Name:      b.Name,
+			LastValue: lv.Percent(),
+			TwoValue:  tv.Percent(),
+			Stride:    st.Percent(),
+			Context:   cx.Percent(),
+			Locality1: loc[0].Overall.Percent(),
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, tv, bb, c, d []float64
+	for _, r := range res.Rows {
+		a = append(a, r.LastValue)
+		tv = append(tv, r.TwoValue)
+		bb = append(bb, r.Stride)
+		c = append(c, r.Context)
+		d = append(d, r.Locality1)
+	}
+	// Arithmetic means: tomcatv's legitimate 0% would zero a GM.
+	res.GM = [5]float64{stats.Mean(a), stats.Mean(tv), stats.Mean(bb),
+		stats.Mean(c), stats.Mean(d)}
+	return res, nil
+}
+
+// Render writes the comparison.
+func (r *PredictorResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Extension study (paper §7): predictor accuracy (% of loads predicted exactly, PPC)",
+		Columns: []string{"Benchmark", "Last-value", "Two-value", "Stride", "Context-2", "d1 locality"},
+	}
+	f := func(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, f(row.LastValue), f(row.TwoValue), f(row.Stride),
+			f(row.Context), f(row.Locality1))
+	}
+	t.AddRow("Mean", f(r.GM[0]), f(r.GM[1]), f(r.GM[2]), f(r.GM[3]), f(r.GM[4]))
+	t.Render(w)
+}

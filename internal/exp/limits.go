@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"io"
+	"sync"
+
+	"lvp/internal/bench"
+	"lvp/internal/dfg"
+	"lvp/internal/lvp"
+	"lvp/internal/prog"
+	"lvp/internal/report"
+	"lvp/internal/stats"
+)
+
+// LimitRow is the dataflow-limit study for one benchmark: the best possible
+// speedup from collapsing correctly-predicted loads, independent of any
+// machine configuration.
+type LimitRow struct {
+	Name string
+	// BaseIPC is the dataflow-limit IPC with full load latencies.
+	BaseIPC float64
+	// SimpleSpeedup / PerfectSpeedup are critical-path reductions with
+	// the Simple and Perfect annotations.
+	SimpleSpeedup  float64
+	PerfectSpeedup float64
+}
+
+// LimitResult is the dataflow-limit dataset.
+type LimitResult struct {
+	Rows                []LimitRow
+	GMSimple, GMPerfect float64
+}
+
+// DataflowLimits computes, per benchmark (PPC target), the dataflow-bound
+// speedups that LVP could at most deliver — the machine-independent version
+// of the paper's "collapsing true dependencies" claim.
+func (s *Suite) DataflowLimits() (*LimitResult, error) {
+	res := &LimitResult{Rows: make([]LimitRow, len(bench.All()))}
+	idx := indexOf()
+	lat := dfg.Default620()
+	var mu sync.Mutex
+	err := s.forEachBench(func(b bench.Benchmark) error {
+		t, err := s.Trace(b.Name, prog.PPC)
+		if err != nil {
+			return err
+		}
+		annS, _, err := s.Annotation(b.Name, prog.PPC, lvp.Simple)
+		if err != nil {
+			return err
+		}
+		annP, _, err := s.Annotation(b.Name, prog.PPC, lvp.Perfect)
+		if err != nil {
+			return err
+		}
+		base := dfg.Analyze(t, nil, lat)
+		simple := dfg.Analyze(t, annS, lat)
+		perfect := dfg.Analyze(t, annP, lat)
+		mu.Lock()
+		res.Rows[idx[b.Name]] = LimitRow{
+			Name:           b.Name,
+			BaseIPC:        base.LimitIPC(),
+			SimpleSpeedup:  float64(base.CriticalPath) / float64(max(1, simple.CriticalPath)),
+			PerfectSpeedup: float64(base.CriticalPath) / float64(max(1, perfect.CriticalPath)),
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, b []float64
+	for _, r := range res.Rows {
+		a = append(a, r.SimpleSpeedup)
+		b = append(b, r.PerfectSpeedup)
+	}
+	res.GMSimple, res.GMPerfect = stats.GeoMean(a), stats.GeoMean(b)
+	return res, nil
+}
+
+// Render writes the table.
+func (r *LimitResult) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "Limit study: dataflow critical-path speedup from collapsing predicted loads (infinite resources)",
+		Columns: []string{"Benchmark", "limit IPC", "Simple", "Perfect"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, stats.Ratio(row.BaseIPC),
+			stats.Ratio(row.SimpleSpeedup), stats.Ratio(row.PerfectSpeedup))
+	}
+	t.AddRow("GM", "", stats.Ratio(r.GMSimple), stats.Ratio(r.GMPerfect))
+	t.Render(w)
+}
+
+// MachineRow is the per-benchmark diagnostic row for one machine.
+type MachineRow struct {
+	Name         string
+	IPC620       float64
+	IPC620Plus   float64
+	IPC21164     float64
+	L1Miss620    float64 // per access
+	L1Miss21164  float64
+	BranchAcc620 float64
+	Alias620     int
+}
+
+// MachinesResult is the baseline-machine diagnostic dataset (not a paper
+// exhibit; a sanity dashboard a simulator release needs).
+type MachinesResult struct {
+	Rows []MachineRow
+}
+
+// Machines collects baseline (no-LVP) machine diagnostics per benchmark.
+func (s *Suite) Machines() (*MachinesResult, error) {
+	res := &MachinesResult{Rows: make([]MachineRow, len(bench.All()))}
+	idx := indexOf()
+	var mu sync.Mutex
+	err := s.forEachBench(func(b bench.Benchmark) error {
+		s620, err := s.Sim620(b.Name, false, nil)
+		if err != nil {
+			return err
+		}
+		sPlus, err := s.Sim620(b.Name, true, nil)
+		if err != nil {
+			return err
+		}
+		s164, err := s.Sim21164(b.Name, nil)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		res.Rows[idx[b.Name]] = MachineRow{
+			Name:         b.Name,
+			IPC620:       s620.IPC(),
+			IPC620Plus:   sPlus.IPC(),
+			IPC21164:     s164.IPC(),
+			L1Miss620:    s620.L1.MissRate(),
+			L1Miss21164:  s164.L1.MissRate(),
+			BranchAcc620: s620.Branch.CondAccuracy(),
+			Alias620:     s620.AliasRefetches,
+		}
+		mu.Unlock()
+		return nil
+	})
+	return res, err
+}
+
+// Render writes the dashboard.
+func (r *MachinesResult) Render(w io.Writer) {
+	t := report.Table{
+		Title: "Machine diagnostics (baselines, no LVP)",
+		Columns: []string{"Benchmark", "620 IPC", "620+ IPC", "21164 IPC",
+			"620 L1 miss", "21164 L1 miss", "620 br acc", "620 alias refetch"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			stats.Ratio(row.IPC620), stats.Ratio(row.IPC620Plus), stats.Ratio(row.IPC21164),
+			stats.Pct(row.L1Miss620, 1), stats.Pct(row.L1Miss21164, 1),
+			stats.Pct(row.BranchAcc620, 1), row.Alias620)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,217 @@
+// Package exp drives the reproduction: one driver per table and figure of
+// the paper's evaluation, sharing cached traces, LVP annotations, and
+// machine simulations across experiments.
+//
+// Machine/trace pairing follows the paper's methodology (§5): the PowerPC
+// 620 and 620+ models consume PPC-target traces (the AIX/xlc side), the
+// Alpha 21164 model consumes AXP-target traces (the OSF side).
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lvp/internal/axp21164"
+	"lvp/internal/bench"
+	"lvp/internal/lvp"
+	"lvp/internal/ppc620"
+	"lvp/internal/prog"
+	"lvp/internal/trace"
+	"lvp/internal/vm"
+)
+
+// Suite generates and caches everything the experiments need.
+type Suite struct {
+	// Scale multiplies benchmark run lengths (1 = default).
+	Scale int
+	// MaxSteps bounds functional execution per benchmark.
+	MaxSteps int
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+	anns   map[string]trace.Annotation
+	s620   map[string]ppc620.Stats
+	s164   map[string]axp21164.Stats
+}
+
+// NewSuite returns a Suite at the given scale (values below 1 are clamped).
+func NewSuite(scale int) *Suite {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Suite{
+		Scale:    scale,
+		MaxSteps: 200_000_000,
+		traces:   make(map[string]*trace.Trace),
+		anns:     make(map[string]trace.Annotation),
+		s620:     make(map[string]ppc620.Stats),
+		s164:     make(map[string]axp21164.Stats),
+	}
+}
+
+// Trace builds (or returns the cached) trace for one benchmark and target.
+func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
+	key := name + "/" + target.Name
+	s.mu.Lock()
+	if t, ok := s.traces[key]; ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	s.mu.Unlock()
+
+	bm, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := bm.Build(target, s.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("exp: building %s/%s: %w", name, target.Name, err)
+	}
+	t, _, err := vm.Run(p, s.MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("exp: running %s/%s: %w", name, target.Name, err)
+	}
+	s.mu.Lock()
+	s.traces[key] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Annotation returns the cached LVP annotation and unit stats for one
+// benchmark/target/config.
+func (s *Suite) Annotation(name string, target prog.Target, cfg lvp.Config) (trace.Annotation, lvp.Stats, error) {
+	t, err := s.Trace(name, target)
+	if err != nil {
+		return nil, lvp.Stats{}, err
+	}
+	key := name + "/" + target.Name + "/" + cfg.Name
+	s.mu.Lock()
+	if a, ok := s.anns[key]; ok {
+		s.mu.Unlock()
+		// Stats are cheap to recompute but we cache only the
+		// annotation; recompute stats when explicitly needed via
+		// AnnotationStats.
+		return a, lvp.Stats{}, nil
+	}
+	s.mu.Unlock()
+	a, st, err := lvp.Annotate(t, cfg)
+	if err != nil {
+		return nil, lvp.Stats{}, err
+	}
+	s.mu.Lock()
+	s.anns[key] = a
+	s.mu.Unlock()
+	return a, st, nil
+}
+
+// AnnotationStats runs the LVP unit over the trace and returns its stats
+// (uncached; used by the Table 3/4 drivers that need the unit counters).
+func (s *Suite) AnnotationStats(name string, target prog.Target, cfg lvp.Config) (lvp.Stats, error) {
+	t, err := s.Trace(name, target)
+	if err != nil {
+		return lvp.Stats{}, err
+	}
+	_, st, err := lvp.Annotate(t, cfg)
+	return st, err
+}
+
+// Sim620 simulates one benchmark on the 620 (plus=false) or 620+ with the
+// given LVP config; cfg == nil means no LVP hardware.
+func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, error) {
+	machine := "620"
+	if plus {
+		machine = "620+"
+	}
+	cfgName := "none"
+	if cfg != nil {
+		cfgName = cfg.Name
+	}
+	key := name + "/" + machine + "/" + cfgName
+	s.mu.Lock()
+	if st, ok := s.s620[key]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	t, err := s.Trace(name, prog.PPC)
+	if err != nil {
+		return ppc620.Stats{}, err
+	}
+	var ann trace.Annotation
+	if cfg != nil {
+		ann, _, err = s.Annotation(name, prog.PPC, *cfg)
+		if err != nil {
+			return ppc620.Stats{}, err
+		}
+	}
+	mc := ppc620.Config620()
+	if plus {
+		mc = ppc620.Config620Plus()
+	}
+	st := ppc620.Simulate(t, ann, mc, cfgName)
+	s.mu.Lock()
+	s.s620[key] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Sim21164 simulates one benchmark on the 21164 with the given LVP config
+// (nil = no LVP hardware).
+func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
+	cfgName := "none"
+	if cfg != nil {
+		cfgName = cfg.Name
+	}
+	key := name + "/" + cfgName
+	s.mu.Lock()
+	if st, ok := s.s164[key]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	t, err := s.Trace(name, prog.AXP)
+	if err != nil {
+		return axp21164.Stats{}, err
+	}
+	var ann trace.Annotation
+	if cfg != nil {
+		ann, _, err = s.Annotation(name, prog.AXP, *cfg)
+		if err != nil {
+			return axp21164.Stats{}, err
+		}
+	}
+	st := axp21164.Simulate(t, ann, axp21164.Config21164(), cfgName)
+	s.mu.Lock()
+	s.s164[key] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// forEachBench runs fn for every benchmark concurrently (bounded by CPU
+// count) and returns the first error.
+func (s *Suite) forEachBench(fn func(b bench.Benchmark) error) error {
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, b := range bench.All() {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b bench.Benchmark) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(b); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(b)
+	}
+	wg.Wait()
+	return firstErr
+}

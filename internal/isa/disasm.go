@@ -1,0 +1,74 @@
+package isa
+
+import "fmt"
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", ADDI: "addi", SUB: "sub", AND: "and",
+	ANDI: "andi", OR: "or", ORI: "ori", XOR: "xor", XORI: "xori",
+	SHL: "shl", SHLI: "shli", SHR: "shr", SHRI: "shri", SRA: "sra",
+	SRAI: "srai", SLT: "slt", SLTI: "slti", SLTU: "sltu", SEQ: "seq",
+	SNE: "sne", LI: "li", MUL: "mul", DIV: "div", REM: "rem",
+	LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu", LW: "lw", LWU: "lwu",
+	LD: "ld", FLW: "flw", FLD: "fld",
+	SB: "sb", SH: "sh", SW: "sw", SD: "sd", FSW: "fsw", FSD: "fsd",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu",
+	BGEU: "bgeu", JAL: "jal", JALR: "jalr",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FNEG: "fneg", FABS: "fabs",
+	FMOV: "fmov", FEQ: "feq", FLT: "flt", FLE: "fle",
+	CVTIF: "cvtif", CVTFI: "cvtfi", MOVIF: "movif", MOVFI: "movfi",
+	FDIV: "fdiv", FSQRT: "fsqrt",
+	OUT: "out", HALT: "halt",
+}
+
+// String returns the assembler mnemonic of op.
+func (op Op) String() string {
+	if int(op) < NumOps && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// String disassembles the instruction into a readable assembler form.
+func (i Inst) String() string {
+	op := i.Op
+	switch {
+	case op == NOP || op == HALT:
+		return op.String()
+	case op == LI:
+		return fmt.Sprintf("%s r%d, %d", op, i.Rd, i.Imm)
+	case op == OUT:
+		return fmt.Sprintf("%s r%d", op, i.Ra)
+	case IsLoad(op):
+		suffix := ""
+		if i.Class != LoadNone {
+			suffix = " ; " + i.Class.String()
+		}
+		return fmt.Sprintf("%s r%d, %d(r%d)%s", op, i.Rd, i.Imm, i.Ra, suffix)
+	case IsStore(op):
+		return fmt.Sprintf("%s r%d, %d(r%d)", op, i.Rb, i.Imm, i.Ra)
+	case IsCondBranch(op):
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", op, i.Ra, i.Rb, uint64(i.Imm))
+	case op == JAL:
+		return fmt.Sprintf("%s r%d, 0x%x", op, i.Rd, uint64(i.Imm))
+	case op == JALR:
+		return fmt.Sprintf("%s r%d, %d(r%d)", op, i.Rd, i.Imm, i.Ra)
+	case op == ADDI || op == ANDI || op == ORI || op == XORI ||
+		op == SHLI || op == SHRI || op == SRAI || op == SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", op, i.Rd, i.Ra, i.Imm)
+	case op == FNEG || op == FABS || op == FMOV || op == FSQRT ||
+		op == CVTIF || op == CVTFI || op == MOVIF || op == MOVFI:
+		return fmt.Sprintf("%s r%d, r%d", op, i.Rd, i.Ra)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", op, i.Rd, i.Ra, i.Rb)
+	}
+}
+
+// OpByName returns the opcode with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name && n != "" {
+			return Op(op), true
+		}
+	}
+	return NOP, false
+}

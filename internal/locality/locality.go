@@ -1,0 +1,143 @@
+// Package locality measures load value locality as defined in paper §2: the
+// fraction of dynamic loads that retrieve a value matching one of the last k
+// unique values retrieved by the same static load.
+//
+// The measurement apparatus is the paper's, exactly (its footnote 1): a
+// direct-mapped table with 1K entries indexed but NOT tagged by instruction
+// address, holding k values per entry replaced LRU, so both constructive and
+// destructive interference between static loads can occur.
+package locality
+
+import (
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+// DefaultEntries is the history-table size used throughout the paper.
+const DefaultEntries = 1024
+
+// HistoryTable is the untagged, direct-mapped value-history table.
+type HistoryTable struct {
+	depth   int
+	mask    uint64
+	values  []uint64 // entries*depth, MRU-first per entry
+	lengths []int    // number of valid values per entry
+}
+
+// NewHistoryTable returns a table with the given number of entries (a power
+// of two) and history depth per entry.
+func NewHistoryTable(entries, depth int) *HistoryTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("locality: entries must be a positive power of two")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &HistoryTable{
+		depth:   depth,
+		mask:    uint64(entries - 1),
+		values:  make([]uint64, entries*depth),
+		lengths: make([]int, entries),
+	}
+}
+
+// Depth reports the history depth per entry.
+func (h *HistoryTable) Depth() int { return h.depth }
+
+func (h *HistoryTable) index(pc uint64) int {
+	return int((pc / isa.InstBytes) & h.mask)
+}
+
+// Access checks whether value matches any of the entry's history values for
+// the load at pc, then updates the history (move-to-front on hit, LRU
+// replacement on miss).
+func (h *HistoryTable) Access(pc, value uint64) bool {
+	i := h.index(pc)
+	vals := h.values[i*h.depth : i*h.depth+h.depth]
+	n := h.lengths[i]
+	for j := 0; j < n; j++ {
+		if vals[j] == value {
+			// Move to front (LRU update).
+			copy(vals[1:j+1], vals[:j])
+			vals[0] = value
+			return true
+		}
+	}
+	// Miss: insert at front, evicting the LRU value if full.
+	if n < h.depth {
+		h.lengths[i] = n + 1
+		n++
+	}
+	copy(vals[1:n], vals[:n-1])
+	vals[0] = value
+	return false
+}
+
+// Peek reports whether value would hit, without updating (useful for
+// oracle-style queries in tests).
+func (h *HistoryTable) Peek(pc, value uint64) bool {
+	i := h.index(pc)
+	vals := h.values[i*h.depth : i*h.depth+h.depth]
+	for j := 0; j < h.lengths[i]; j++ {
+		if vals[j] == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Ratio is a hit/total pair.
+type Ratio struct {
+	Hits  int
+	Total int
+}
+
+// Percent reports 100*Hits/Total (0 when Total is 0).
+func (r Ratio) Percent() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Hits) / float64(r.Total)
+}
+
+func (r *Ratio) add(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Result is the value-locality measurement of one trace at one depth.
+type Result struct {
+	Depth   int
+	Overall Ratio
+	// ByClass breaks the measurement down by the paper's Figure 2 data
+	// types (indexed by isa.LoadClass).
+	ByClass [isa.NumLoadClasses]Ratio
+}
+
+// Measure computes value locality for every requested history depth in one
+// pass over the trace.
+func Measure(t *trace.Trace, entries int, depths ...int) []Result {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	tables := make([]*HistoryTable, len(depths))
+	results := make([]Result, len(depths))
+	for i, d := range depths {
+		tables[i] = NewHistoryTable(entries, d)
+		results[i].Depth = d
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if !r.IsLoad() {
+			continue
+		}
+		for k, tab := range tables {
+			hit := tab.Access(r.PC, r.Value)
+			results[k].Overall.add(hit)
+			results[k].ByClass[r.Class].add(hit)
+		}
+	}
+	return results
+}

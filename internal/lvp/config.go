@@ -1,0 +1,90 @@
+// Package lvp implements the paper's primary contribution: the Load Value
+// Prediction Unit (§3), composed of
+//
+//   - the LVPT (Load Value Prediction Table, §3.1) — a direct-mapped,
+//     untagged value-history table indexed by load instruction address;
+//   - the LCT (Load Classification Table, §3.2) — a direct-mapped table of
+//     n-bit saturating counters classifying each static load as
+//     unpredictable, predictable, or constant;
+//   - the CVU (Constant Verification Unit, §3.3) — a small fully-associative
+//     memory of (data address, LVPT index) pairs that lets constant loads
+//     verify without touching the memory hierarchy.
+//
+// Following the paper's experimental framework (§5), the unit is driven over
+// an instruction trace and annotates every load with one of four states
+// (trace.PredState); the cycle-accurate machine models then consume the
+// annotated trace.
+package lvp
+
+import "fmt"
+
+// Config describes one LVP Unit configuration (paper Table 2).
+type Config struct {
+	// Name identifies the configuration ("Simple", "Constant", "Limit",
+	// "Perfect").
+	Name string
+	// LVPTEntries is the number of direct-mapped LVPT entries (power of
+	// two). Ignored when Perfect.
+	LVPTEntries int
+	// HistoryDepth is the number of values kept per LVPT entry. A depth
+	// greater than one implies the paper's hypothetical perfect
+	// selection mechanism: the prediction is correct whenever the actual
+	// value appears anywhere in the history.
+	HistoryDepth int
+	// LCTEntries is the number of direct-mapped LCT entries (power of
+	// two). Ignored when Perfect.
+	LCTEntries int
+	// LCTBits is the saturating-counter width (1 or 2).
+	LCTBits int
+	// CVUEntries is the capacity of the CVU's associative table; zero
+	// disables constant verification entirely.
+	CVUEntries int
+	// Perfect short-circuits the tables: every load value is predicted
+	// correctly, and no loads are classified as constants (paper's
+	// "Perfect" row).
+	Perfect bool
+}
+
+// The four configurations of paper Table 2.
+var (
+	Simple   = Config{Name: "Simple", LVPTEntries: 1024, HistoryDepth: 1, LCTEntries: 256, LCTBits: 2, CVUEntries: 32}
+	Constant = Config{Name: "Constant", LVPTEntries: 1024, HistoryDepth: 1, LCTEntries: 256, LCTBits: 1, CVUEntries: 128}
+	Limit    = Config{Name: "Limit", LVPTEntries: 4096, HistoryDepth: 16, LCTEntries: 1024, LCTBits: 2, CVUEntries: 128}
+	Perfect  = Config{Name: "Perfect", Perfect: true}
+)
+
+// Configs lists the paper's configurations in Table 2 order.
+var Configs = []Config{Simple, Constant, Limit, Perfect}
+
+// ByName returns the named configuration.
+func ByName(name string) (Config, error) {
+	for _, c := range Configs {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("lvp: unknown configuration %q", name)
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Perfect {
+		return nil
+	}
+	if c.LVPTEntries <= 0 || c.LVPTEntries&(c.LVPTEntries-1) != 0 {
+		return fmt.Errorf("lvp: LVPTEntries must be a positive power of two, got %d", c.LVPTEntries)
+	}
+	if c.LCTEntries <= 0 || c.LCTEntries&(c.LCTEntries-1) != 0 {
+		return fmt.Errorf("lvp: LCTEntries must be a positive power of two, got %d", c.LCTEntries)
+	}
+	if c.HistoryDepth < 1 {
+		return fmt.Errorf("lvp: HistoryDepth must be >= 1, got %d", c.HistoryDepth)
+	}
+	if c.LCTBits < 1 || c.LCTBits > 8 {
+		return fmt.Errorf("lvp: LCTBits must be in [1,8], got %d", c.LCTBits)
+	}
+	if c.CVUEntries < 0 {
+		return fmt.Errorf("lvp: CVUEntries must be >= 0, got %d", c.CVUEntries)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package lvp
+
+// CVU is the Constant Verification Unit (paper §3.3): a small
+// fully-associative table of (data address, LVPT index) pairs. An entry
+// asserts "the value cached at this LVPT index is coherent with memory at
+// this address". Stores invalidate matching addresses; LVPT updates that
+// change an entry's value invalidate matching indices. A constant load that
+// hits the CVU is verified without accessing the memory hierarchy.
+type CVU struct {
+	capacity int
+	entries  []cvuEntry
+	clock    uint64
+}
+
+type cvuEntry struct {
+	addr  uint64
+	index int
+	used  uint64 // LRU timestamp
+}
+
+// NewCVU returns a CVU with the given capacity; capacity 0 disables it.
+func NewCVU(capacity int) *CVU {
+	return &CVU{capacity: capacity}
+}
+
+// Lookup performs the CAM search on (addr, index) — the concatenation the
+// paper describes — and refreshes the entry's LRU position on a hit.
+func (c *CVU) Lookup(addr uint64, index int) bool {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.addr == addr && e.index == index {
+			c.clock++
+			e.used = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert records that the LVPT entry at index is verified-coherent with
+// memory at addr. The least-recently-used entry is evicted when full.
+// Inserting an existing pair just refreshes it.
+func (c *CVU) Insert(addr uint64, index int) {
+	if c.capacity == 0 {
+		return
+	}
+	c.clock++
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.addr == addr && e.index == index {
+			e.used = c.clock
+			return
+		}
+	}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, cvuEntry{addr: addr, index: index, used: c.clock})
+		return
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].used < c.entries[victim].used {
+			victim = i
+		}
+	}
+	c.entries[victim] = cvuEntry{addr: addr, index: index, used: c.clock}
+}
+
+// InvalidateAddr removes every entry whose data address lies in the store's
+// footprint [addr, addr+size). (A real CAM matches on cache-line or word
+// granularity; we use exact byte-range overlap against the entry's load
+// address, conservatively treating the entry as covering loadSize bytes.)
+// It returns the number of entries removed.
+func (c *CVU) InvalidateAddr(addr uint64, size int) int {
+	if size <= 0 {
+		size = 1
+	}
+	removed := 0
+	out := c.entries[:0]
+	for _, e := range c.entries {
+		// Entries record the load's base address; invalidate on any
+		// overlap with the store, assuming loads cover at most 8 bytes.
+		if e.addr+8 > addr && e.addr < addr+uint64(size) {
+			removed++
+			continue
+		}
+		out = append(out, e)
+	}
+	c.entries = out
+	return removed
+}
+
+// InvalidateIndex removes every entry referring to the given LVPT index;
+// called when that LVPT entry's value changes, so a stale CVU entry can
+// never vouch for a value that is no longer in the table.
+func (c *CVU) InvalidateIndex(index int) int {
+	removed := 0
+	out := c.entries[:0]
+	for _, e := range c.entries {
+		if e.index == index {
+			removed++
+			continue
+		}
+		out = append(out, e)
+	}
+	c.entries = out
+	return removed
+}
+
+// Len reports the current occupancy.
+func (c *CVU) Len() int { return len(c.entries) }

@@ -1,0 +1,97 @@
+package lvp
+
+import "lvp/internal/isa"
+
+// Classification is the LCT's verdict for one dynamic load.
+type Classification uint8
+
+const (
+	// ClassNoPredict: do not predict this load.
+	ClassNoPredict Classification = iota
+	// ClassPredict: predict, verify against the memory hierarchy.
+	ClassPredict
+	// ClassConstant: predict, and attempt verification through the CVU.
+	ClassConstant
+)
+
+func (c Classification) String() string {
+	switch c {
+	case ClassNoPredict:
+		return "no-predict"
+	case ClassPredict:
+		return "predict"
+	case ClassConstant:
+		return "constant"
+	}
+	return "unknown"
+}
+
+// LCT is the Load Classification Table (paper §3.2): a direct-mapped table
+// of n-bit saturating counters indexed by the low-order bits of the load
+// instruction address. With 2-bit counters the four states 0-3 map to
+// {don't predict, don't predict, predict, constant}; with 1-bit counters the
+// two states map to {don't predict, constant}.
+type LCT struct {
+	bits     int
+	max      uint8
+	mask     uint64
+	counters []uint8
+}
+
+// NewLCT returns a table with the given entries (power of two) and counter
+// width in bits.
+func NewLCT(entries, bits int) *LCT {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("lvp: LCT entries must be a positive power of two")
+	}
+	if bits < 1 || bits > 8 {
+		panic("lvp: LCT bits must be in [1,8]")
+	}
+	return &LCT{
+		bits:     bits,
+		max:      uint8(1<<bits - 1),
+		mask:     uint64(entries - 1),
+		counters: make([]uint8, entries),
+	}
+}
+
+func (l *LCT) index(pc uint64) int {
+	return int((pc / isa.InstBytes) & l.mask)
+}
+
+// Classify reports how the load at pc should be handled.
+func (l *LCT) Classify(pc uint64) Classification {
+	c := l.counters[l.index(pc)]
+	if l.bits == 1 {
+		// 1-bit counters: {don't predict, constant}.
+		if c == 0 {
+			return ClassNoPredict
+		}
+		return ClassConstant
+	}
+	switch {
+	case c == l.max:
+		return ClassConstant
+	case c == l.max-1:
+		return ClassPredict
+	default:
+		return ClassNoPredict
+	}
+}
+
+// Update adjusts the counter after verification: incremented when the
+// predicted value was correct, decremented otherwise (saturating).
+func (l *LCT) Update(pc uint64, correct bool) {
+	i := l.index(pc)
+	c := l.counters[i]
+	if correct {
+		if c < l.max {
+			l.counters[i] = c + 1
+		}
+	} else if c > 0 {
+		l.counters[i] = c - 1
+	}
+}
+
+// Counter exposes the raw counter value (for tests and introspection).
+func (l *LCT) Counter(pc uint64) uint8 { return l.counters[l.index(pc)] }

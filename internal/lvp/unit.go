@@ -1,0 +1,207 @@
+package lvp
+
+import (
+	"fmt"
+
+	"lvp/internal/trace"
+)
+
+// Stats aggregates everything the paper reports about the LVP Unit itself:
+// the distribution of prediction states, the LCT classification accuracy
+// (Table 3), and the constant identification rate (Table 4).
+type Stats struct {
+	Config string
+	Loads  int
+	States [trace.NumPredStates]int
+
+	// Table 3 numerators/denominators. A load is "predictable" when the
+	// LVPT's prediction for it would have been correct, regardless of
+	// what the LCT decided.
+	PredictableTotal        int
+	PredictableIdentified   int // ... and the LCT said predict/constant
+	UnpredictableTotal      int
+	UnpredictableIdentified int // ... and the LCT said don't-predict
+
+	CVUInserts            int
+	CVUStoreInvalidations int
+	CVUIndexInvalidations int
+	// CoherenceViolations counts CVU hits whose prediction was wrong.
+	// The invalidate-on-update discipline keeps this at zero; it exists
+	// as a checked invariant.
+	CoherenceViolations int
+}
+
+// ConstantRate is paper Table 4: the fraction of all dynamic loads verified
+// as constants by the CVU (equivalently, the L1 bandwidth reduction).
+func (s Stats) ConstantRate() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.States[trace.PredConstant]) / float64(s.Loads)
+}
+
+// UnpredictableIdentifiedRate is paper Table 3's "% of unpredictable loads
+// identified as such by the LCT".
+func (s Stats) UnpredictableIdentifiedRate() float64 {
+	if s.UnpredictableTotal == 0 {
+		return 1
+	}
+	return float64(s.UnpredictableIdentified) / float64(s.UnpredictableTotal)
+}
+
+// PredictableIdentifiedRate is paper Table 3's "% of predictable loads
+// correctly classified as predictable".
+func (s Stats) PredictableIdentifiedRate() float64 {
+	if s.PredictableTotal == 0 {
+		return 1
+	}
+	return float64(s.PredictableIdentified) / float64(s.PredictableTotal)
+}
+
+// Accuracy is the fraction of attempted predictions that were correct
+// (correct + constant over all predicted loads).
+func (s Stats) Accuracy() float64 {
+	attempted := s.States[trace.PredCorrect] + s.States[trace.PredConstant] + s.States[trace.PredIncorrect]
+	if attempted == 0 {
+		return 0
+	}
+	return float64(s.States[trace.PredCorrect]+s.States[trace.PredConstant]) / float64(attempted)
+}
+
+// Coverage is the fraction of all loads predicted correctly (correct +
+// constant over all loads).
+func (s Stats) Coverage() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.States[trace.PredCorrect]+s.States[trace.PredConstant]) / float64(s.Loads)
+}
+
+// Unit is a complete LVP Unit instance.
+type Unit struct {
+	cfg   Config
+	lvpt  *LVPT
+	lct   *LCT
+	cvu   *CVU
+	stats Stats
+}
+
+// NewUnit builds a unit for the given configuration.
+func NewUnit(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unit{cfg: cfg, stats: Stats{Config: cfg.Name}}
+	if !cfg.Perfect {
+		u.lvpt = NewLVPT(cfg.LVPTEntries, cfg.HistoryDepth)
+		u.lct = NewLCT(cfg.LCTEntries, cfg.LCTBits)
+		u.cvu = NewCVU(cfg.CVUEntries)
+	}
+	return u, nil
+}
+
+// Stats returns the accumulated statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// Store processes a store instruction: the CVU CAM is searched and all
+// entries matching the store's footprint are invalidated (paper §3.4).
+func (u *Unit) Store(addr uint64, size int) {
+	if u.cvu != nil {
+		u.stats.CVUStoreInvalidations += u.cvu.InvalidateAddr(addr, size)
+	}
+}
+
+// Load processes one dynamic load: it forms the prediction, classifies it,
+// attempts CVU verification for constants, updates the tables, and returns
+// the paper's four-state annotation.
+func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
+	u.stats.Loads++
+	if u.cfg.Perfect {
+		u.stats.States[trace.PredCorrect]++
+		u.stats.PredictableTotal++
+		u.stats.PredictableIdentified++
+		return trace.PredCorrect
+	}
+	idx := u.lvpt.Index(pc)
+	var correct bool
+	if u.cfg.HistoryDepth > 1 {
+		// Perfect selection oracle over the history set (paper §3.1).
+		correct = u.lvpt.Contains(pc, actual)
+	} else {
+		pred, _ := u.lvpt.Predict(pc) // cold entries predict zero
+		correct = pred == actual
+	}
+	class := u.lct.Classify(pc)
+
+	var state trace.PredState
+	switch class {
+	case ClassNoPredict:
+		state = trace.PredNone
+	case ClassPredict:
+		if correct {
+			state = trace.PredCorrect
+		} else {
+			state = trace.PredIncorrect
+		}
+	case ClassConstant:
+		hit := u.cvu.Lookup(addr, idx)
+		switch {
+		case hit && correct:
+			state = trace.PredConstant
+		case hit:
+			// A CVU hit vouching for a wrong value would be a
+			// hardware bug; the invalidation discipline prevents
+			// it, and we count it to prove that.
+			u.stats.CoherenceViolations++
+			state = trace.PredIncorrect
+		case correct:
+			// Demoted to predictable this time (paper §3.3); the
+			// now-verified pair enters the CVU for next time.
+			state = trace.PredCorrect
+			u.cvu.Insert(addr, idx)
+			u.stats.CVUInserts++
+		default:
+			state = trace.PredIncorrect
+		}
+	}
+
+	u.lct.Update(pc, correct)
+	if changed := u.lvpt.Update(pc, actual); changed {
+		u.stats.CVUIndexInvalidations += u.cvu.InvalidateIndex(idx)
+	}
+
+	u.stats.States[state]++
+	if correct {
+		u.stats.PredictableTotal++
+		if class != ClassNoPredict {
+			u.stats.PredictableIdentified++
+		}
+	} else {
+		u.stats.UnpredictableTotal++
+		if class == ClassNoPredict {
+			u.stats.UnpredictableIdentified++
+		}
+	}
+	return state
+}
+
+// Annotate runs the LVP Unit over a trace (phase 2 of the paper's
+// experimental framework, §5) and returns the per-record prediction states
+// plus unit statistics.
+func Annotate(t *trace.Trace, cfg Config) (trace.Annotation, Stats, error) {
+	u, err := NewUnit(cfg)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("annotating %s: %w", t.Name, err)
+	}
+	ann := trace.NewAnnotation(t)
+	for i := range t.Records {
+		r := &t.Records[i]
+		switch {
+		case r.IsLoad():
+			ann[i] = u.Load(r.PC, r.Addr, r.Value)
+		case r.IsStore():
+			u.Store(r.Addr, int(r.Size))
+		}
+	}
+	return ann, u.Stats(), nil
+}

@@ -1,0 +1,132 @@
+// Package ppc620 is the trace-driven, cycle-level timing model of the
+// PowerPC 620 (paper §4.1) and its enhanced 620+ variant, with optional Load
+// Value Prediction integration.
+//
+// Modelled mechanisms: 4-wide fetch/dispatch/completion, per-functional-unit
+// reservation stations, GPR/FPR rename buffers, a completion buffer with
+// in-order completion, BHT+BTB+RAS branch prediction with fetch redirect on
+// mispredict, a non-blocking dual-banked L1 with an L2 behind it, store
+// commit at completion with bank-conflict accounting, and the paper's LVP
+// semantics: values forwarded speculatively at dispatch, verified one cycle
+// after the actual value returns, dependent instructions holding their
+// reservation stations until verification, and a one-cycle reissue penalty
+// on misprediction. Constant-verified loads (CVU) skip the cache entirely.
+//
+// Deliberate simplification (documented in DESIGN.md): the LSU issues memory
+// operations oldest-first, so loads never bypass older stores and the 620's
+// store-to-load alias refetch never fires; store-to-load forwarding from the
+// pending-store queue is modelled.
+package ppc620
+
+import "lvp/internal/cache"
+
+// FU enumerates the 620's functional unit types.
+type FU int
+
+// Functional units (paper Figure 4).
+const (
+	SCFX FU = iota // single-cycle integer (two units)
+	MCFX           // multi-cycle integer
+	FPU            // floating point
+	LSU            // load/store
+	BRU            // branch
+	NumFU
+)
+
+func (f FU) String() string {
+	switch f {
+	case SCFX:
+		return "SCFX"
+	case MCFX:
+		return "MCFX"
+	case FPU:
+		return "FPU"
+	case LSU:
+		return "LSU"
+	case BRU:
+		return "BRU"
+	}
+	return "FU?"
+}
+
+// Config holds the machine parameters for the 620 or 620+.
+type Config struct {
+	Name          string
+	FetchWidth    int
+	DispatchWidth int
+	CompleteWidth int
+	FetchBuffer   int
+	// RS is the number of reservation-station entries per FU type
+	// (pooled across that type's units).
+	RS [NumFU]int
+	// Units is the number of execution units per FU type.
+	Units [NumFU]int
+	// GPRRename and FPRRename are rename-buffer counts.
+	GPRRename int
+	FPRRename int
+	// Completion is the completion (reorder) buffer size.
+	Completion int
+	// MaxLoadDispatch and MaxStoreDispatch bound memory-op dispatch per
+	// cycle. The 620 dispatches at most one load and one store; the 620+
+	// relaxes this to two of either.
+	MaxLoadDispatch  int
+	MaxStoreDispatch int
+	RelaxedLS        bool // 620+: the two slots are interchangeable
+
+	// Cache geometry and latencies.
+	L1         cache.Config
+	L2         cache.Config
+	L1Latency  int // load-to-use on L1 hit (Table 5: 2)
+	L2Latency  int
+	MemLatency int
+	// MSHRs bounds outstanding L1 misses (the 620's non-blocking cache
+	// is not infinitely non-blocking); further missing loads wait for a
+	// miss register to free.
+	MSHRs int
+}
+
+// Config620 returns the base PowerPC 620 model parameters.
+func Config620() Config {
+	return Config{
+		Name:             "620",
+		FetchWidth:       4,
+		DispatchWidth:    4,
+		CompleteWidth:    4,
+		FetchBuffer:      8,
+		RS:               [NumFU]int{SCFX: 4, MCFX: 2, FPU: 2, LSU: 3, BRU: 4},
+		Units:            [NumFU]int{SCFX: 2, MCFX: 1, FPU: 1, LSU: 1, BRU: 1},
+		GPRRename:        8,
+		FPRRename:        8,
+		Completion:       16,
+		MaxLoadDispatch:  1,
+		MaxStoreDispatch: 1,
+		L1: cache.Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64,
+			Assoc: 8, Banks: 2},
+		L2: cache.Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64,
+			Assoc: 4, Banks: 1},
+		L1Latency:  2,
+		L2Latency:  8,
+		MemLatency: 40,
+		MSHRs:      4,
+	}
+}
+
+// Config620Plus returns the paper's "next-generation" 620+: doubled
+// reservation stations, rename buffers and completion buffer, a second
+// load/store unit (without an extra cache port), and relaxed load/store
+// dispatch (§4.1).
+func Config620Plus() Config {
+	c := Config620()
+	c.Name = "620+"
+	for f := range c.RS {
+		c.RS[f] *= 2
+	}
+	c.Units[LSU] = 2
+	c.GPRRename = 16
+	c.FPRRename = 16
+	c.Completion = 32
+	c.MaxLoadDispatch = 2
+	c.MaxStoreDispatch = 2
+	c.RelaxedLS = true
+	return c
+}

@@ -1,0 +1,708 @@
+package ppc620
+
+import (
+	"lvp/internal/bpred"
+	"lvp/internal/cache"
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+const unknown = -1
+
+// entry is one dynamic instruction flowing through the machine.
+type entry struct {
+	rec  *trace.Record
+	fu   FU
+	pred trace.PredState
+
+	dispatchC int
+	issueC    int
+	doneC     int // result produced (cache data back, ALU result, ...)
+	verifyC   int // predicted loads: value comparison / CVU match done
+	readyMax  int // latest source-ready cycle observed (Figure 8)
+
+	srcA, srcB int // producer entry indices, or -1
+	specSrc    int // unverified predicted load this instruction depends on, or -1
+
+	resultReadyC int // cycle dependents may consume the result (unknown until set)
+
+	usesRename bool // consumes a GPR rename buffer (compares write CR instead)
+	dispatched bool
+	issued     bool
+	completed  bool
+	mispred    bool // branch that redirects fetch
+	writesGPR  bool
+	writesFPR  bool
+	isLoad     bool
+	isStore    bool
+	cancelled  bool // constant load whose cache access the CVU cancelled
+
+	aliasStore int // conflicting older store detected by the alias logic
+}
+
+// machine is the live simulation state.
+type machine struct {
+	cfg  Config
+	tr   *trace.Trace
+	ann  trace.Annotation
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	entries []entry
+	head    int // oldest not-completed
+	dispPtr int // next to dispatch (into entries/window)
+	fetched int // number fetched so far (fetch buffer tail)
+
+	lastWriterG [isa.NumRegs]int
+	lastWriterF [isa.NumRegs]int
+
+	mcfxBusyUntil int
+	fpuBusyUntil  int
+
+	fetchStallEntry   int // entry index of unresolved mispredicted branch, or -1
+	lastConflictCycle int
+	missBusyUntil     []int // completion cycles of outstanding L1 misses (MSHRs)
+
+	bankRing [16][8]uint8 // future L1 bank usage, ring-indexed by cycle
+
+	stats Stats
+}
+
+// Simulate runs the trace through the machine model. ann may be nil (no LVP
+// unit); lvpName labels the run in the stats.
+func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string) Stats {
+	m := &machine{
+		cfg: cfg,
+		tr:  tr,
+		ann: ann,
+		hier: &cache.Hierarchy{
+			L1:        cache.MustNew(cfg.L1),
+			L2:        cache.MustNew(cfg.L2),
+			L1Latency: cfg.L1Latency, L2Latency: cfg.L2Latency, MemLatency: cfg.MemLatency,
+		},
+		bp:              bpred.New(bpred.Default620),
+		fetchStallEntry: -1,
+	}
+	for i := range m.lastWriterG {
+		m.lastWriterG[i] = -1
+		m.lastWriterF[i] = -1
+	}
+	m.stats.Machine = cfg.Name
+	m.stats.LVPConfig = lvpName
+	m.entries = make([]entry, len(tr.Records))
+	for i := range m.entries {
+		m.prepare(i)
+	}
+	m.run()
+	m.stats.Instructions = len(tr.Records)
+	m.stats.L1 = m.hier.L1.Stats()
+	m.stats.L2 = m.hier.L2.Stats()
+	m.stats.Branch = m.bp.Stats()
+	return m.stats
+}
+
+// prepare fills the static fields of entry i.
+func (m *machine) prepare(i int) {
+	e := &m.entries[i]
+	r := &m.tr.Records[i]
+	e.rec = r
+	e.fu = fuOf(r.Op)
+	e.srcA, e.srcB = -1, -1
+	e.specSrc = -1
+	e.resultReadyC = unknown
+	e.verifyC = unknown
+	in := r.Inst()
+	e.writesGPR = isa.WritesGPR(in) && r.Rd != isa.R0
+	e.writesFPR = isa.WritesFPR(in)
+	e.usesRename = e.writesGPR && !isCompare(r.Op)
+	e.isLoad = r.IsLoad()
+	e.isStore = r.IsStore()
+	if m.ann != nil {
+		// Annotations normally cover loads only; AnnotateGeneral also
+		// marks other register-writing instructions, which this model
+		// handles with the same forward-at-dispatch / verify-after-
+		// execute semantics.
+		e.pred = m.ann[i]
+		if e.isLoad {
+			m.stats.LoadStates[e.pred]++
+		}
+	}
+}
+
+// isCompare reports VLR compare ops. On the PowerPC these are cmp/fcmp
+// instructions that write the condition register, which has its own ample
+// rename pool on the 620 — so they do not consume GPR rename buffers in
+// this model.
+func isCompare(op isa.Op) bool {
+	switch op {
+	case isa.SLT, isa.SLTI, isa.SLTU, isa.SEQ, isa.SNE, isa.FEQ, isa.FLT, isa.FLE:
+		return true
+	}
+	return false
+}
+
+func fuOf(op isa.Op) FU {
+	switch isa.ClassOf(op) {
+	case isa.ClassComplexInt:
+		return MCFX
+	case isa.ClassSimpleFP, isa.ClassComplexFP:
+		return FPU
+	case isa.ClassLoad, isa.ClassStore:
+		return LSU
+	case isa.ClassBranch:
+		return BRU
+	default:
+		return SCFX
+	}
+}
+
+// execLatency is the result latency on the 620 (Table 5), excluding memory.
+func execLatency(op isa.Op) int {
+	switch isa.ClassOf(op) {
+	case isa.ClassComplexInt:
+		if op == isa.MUL {
+			return 4 // mull on the 620 class of cores
+		}
+		return 35 // DIV, REM (Table 5's upper bound)
+	case isa.ClassSimpleFP:
+		return 3
+	case isa.ClassComplexFP:
+		return 18
+	case isa.ClassStore:
+		return 1 // address generation; data written at completion
+	case isa.ClassBranch:
+		return 1
+	default:
+		return 1
+	}
+}
+
+func (m *machine) run() {
+	n := len(m.entries)
+	cycle := 0
+	const safetyFactor = 200 // cycles per instruction upper bound
+	for m.head < n {
+		m.complete(cycle)
+		m.issue(cycle)
+		m.dispatch(cycle)
+		m.fetch(cycle)
+		// Clear the bank-usage slot this cycle vacates.
+		m.bankRing[(cycle+len(m.bankRing)-1)&(len(m.bankRing)-1)] = [8]uint8{}
+		cycle++
+		if cycle > safetyFactor*(n+100) {
+			panic("ppc620: simulation wedged (cycle bound exceeded)")
+		}
+	}
+	m.stats.Cycles = cycle
+}
+
+// --- fetch ---
+
+func (m *machine) fetch(cycle int) {
+	// Fetch is blocked while a mispredicted branch is unresolved.
+	if m.fetchStallEntry >= 0 {
+		e := &m.entries[m.fetchStallEntry]
+		if !e.issued || cycle <= e.doneC {
+			return
+		}
+		m.fetchStallEntry = -1
+	}
+	space := m.cfg.FetchBuffer - (m.fetched - m.dispPtr)
+	width := min(m.cfg.FetchWidth, space)
+	for k := 0; k < width && m.fetched < len(m.entries); k++ {
+		i := m.fetched
+		e := &m.entries[i]
+		r := e.rec
+		m.fetched++
+		// Branch prediction happens at fetch; a mispredicted branch
+		// stalls further fetch until it resolves.
+		if r.IsBranch() {
+			if m.bp.Resolve(r) {
+				e.mispred = true
+				m.fetchStallEntry = i
+				return
+			}
+		}
+	}
+}
+
+// --- dispatch ---
+
+func (m *machine) dispatch(cycle int) {
+	loads, stores := 0, 0
+	for k := 0; k < m.cfg.DispatchWidth; k++ {
+		if m.dispPtr >= m.fetched {
+			m.stats.StallFetchEmpty++
+			return
+		}
+		i := m.dispPtr
+		e := &m.entries[i]
+		// Structural checks (in-order: stop at first failure).
+		if i-m.head >= m.cfg.Completion {
+			m.stats.StallCompletion++
+			return // completion buffer full
+		}
+		if m.rsInUse(e.fu, cycle) >= m.cfg.RS[e.fu] {
+			m.stats.StallRS[e.fu]++
+			return
+		}
+		if e.usesRename && m.renameInUse(false) >= m.cfg.GPRRename {
+			m.stats.StallRename++
+			return
+		}
+		if e.writesFPR && m.renameInUse(true) >= m.cfg.FPRRename {
+			m.stats.StallRename++
+			return
+		}
+		if e.isLoad || e.isStore {
+			full := false
+			if m.cfg.RelaxedLS {
+				full = loads+stores >= m.cfg.MaxLoadDispatch+m.cfg.MaxStoreDispatch-2
+			} else {
+				full = (e.isLoad && loads >= m.cfg.MaxLoadDispatch) ||
+					(e.isStore && stores >= m.cfg.MaxStoreDispatch)
+			}
+			if full {
+				m.stats.StallMemSlots++
+				return
+			}
+		}
+
+		// Dependence capture.
+		r := e.rec
+		var srcs [4]isa.RegRef
+		for _, ref := range isa.Sources(r.Inst(), srcs[:0]) {
+			var p int
+			if ref.FP {
+				p = m.lastWriterF[ref.Reg]
+			} else if ref.Reg != isa.R0 {
+				p = m.lastWriterG[ref.Reg]
+			} else {
+				p = -1
+			}
+			if p < 0 {
+				continue
+			}
+			if e.srcA < 0 {
+				e.srcA = p
+			} else if p != e.srcA {
+				e.srcB = p
+			}
+			// Speculative-value tag propagation (paper §4.1).
+			if tag := m.specTagOf(p, cycle); tag >= 0 {
+				e.specSrc = tag
+			}
+		}
+
+		e.dispatched = true
+		e.dispatchC = cycle
+		if e.writesGPR {
+			m.lastWriterG[r.Rd] = i
+		}
+		if e.writesFPR {
+			m.lastWriterF[r.Rd] = i
+		}
+		// A predicted instruction forwards its value at dispatch.
+		if e.pred == trace.PredCorrect || e.pred == trace.PredConstant {
+			e.resultReadyC = cycle
+		}
+		if e.isLoad {
+			loads++
+		}
+		if e.isStore {
+			stores++
+		}
+		m.dispPtr++
+	}
+}
+
+// specTagOf reports the unverified predicted load behind producer p (p
+// itself, or its inherited tag), or -1.
+func (m *machine) specTagOf(p, cycle int) int {
+	pe := &m.entries[p]
+	if pe.pred != trace.PredNone {
+		if pe.verifyC == unknown || pe.verifyC >= cycle {
+			return p
+		}
+		return -1
+	}
+	if pe.specSrc >= 0 {
+		le := &m.entries[pe.specSrc]
+		if le.verifyC == unknown || le.verifyC >= cycle {
+			return pe.specSrc
+		}
+	}
+	return -1
+}
+
+// rsInUse counts reservation-station entries held for one FU type.
+func (m *machine) rsInUse(f FU, cycle int) int {
+	n := 0
+	for i := m.head; i < m.dispPtr; i++ {
+		e := &m.entries[i]
+		if e.fu != f || !e.dispatched || e.completed {
+			continue
+		}
+		if m.holdsRS(e, cycle) {
+			n++
+		}
+	}
+	return n
+}
+
+// holdsRS reports whether a dispatched entry still occupies its reservation
+// station: until the cycle after issue, and — when it consumed a
+// speculatively-forwarded value — until that value is verified (paper §4.1).
+func (m *machine) holdsRS(e *entry, cycle int) bool {
+	if !e.issued {
+		return true
+	}
+	if cycle <= e.issueC {
+		return true
+	}
+	if e.specSrc >= 0 {
+		le := &m.entries[e.specSrc]
+		if le.verifyC == unknown || cycle <= le.verifyC {
+			return true
+		}
+	}
+	return false
+}
+
+// renameInUse counts rename buffers held (allocated at dispatch, freed at
+// completion).
+func (m *machine) renameInUse(fp bool) int {
+	n := 0
+	for i := m.head; i < m.dispPtr; i++ {
+		e := &m.entries[i]
+		if e.completed {
+			continue
+		}
+		if (fp && e.writesFPR) || (!fp && e.usesRename) {
+			n++
+		}
+	}
+	return n
+}
+
+// --- issue & execute ---
+
+func (m *machine) issue(cycle int) {
+	var issuedPerFU [NumFU]int
+	capacity := [NumFU]int{
+		SCFX: m.cfg.Units[SCFX],
+		MCFX: m.cfg.Units[MCFX],
+		FPU:  m.cfg.Units[FPU],
+		LSU:  m.cfg.Units[LSU],
+		BRU:  m.cfg.Units[BRU],
+	}
+	if m.mcfxBusyUntil > cycle {
+		capacity[MCFX] = 0
+	}
+	if m.fpuBusyUntil > cycle {
+		capacity[FPU] = 0
+	}
+	// Stores issue in order among stores; loads may issue past older
+	// stores with unknown addresses — the 620's store-to-load alias
+	// detection refetches them when a conflict materialises (§4.1).
+	storeBlocked := false
+	for i := m.head; i < m.dispPtr; i++ {
+		e := &m.entries[i]
+		if !e.dispatched || e.issued {
+			if e.isStore && !e.issued {
+				storeBlocked = true
+			}
+			continue
+		}
+		if issuedPerFU[e.fu] >= capacity[e.fu] {
+			if e.isStore {
+				storeBlocked = true
+			}
+			continue
+		}
+		if e.isStore && storeBlocked {
+			continue
+		}
+		if !m.operandsReady(e, cycle) {
+			if e.isStore {
+				storeBlocked = true
+			}
+			continue
+		}
+		m.execute(i, cycle)
+		issuedPerFU[e.fu]++
+	}
+}
+
+// operandsReady also records the Figure 8 dependency-wait when it becomes
+// known.
+func (m *machine) operandsReady(e *entry, cycle int) bool {
+	ready := e.dispatchC
+	for _, p := range [2]int{e.srcA, e.srcB} {
+		if p < 0 {
+			continue
+		}
+		pr := m.entries[p].resultReadyC
+		if pr == unknown || pr > cycle {
+			return false
+		}
+		if pr > ready {
+			ready = pr
+		}
+	}
+	e.readyMax = ready
+	return true
+}
+
+func (m *machine) execute(i, cycle int) {
+	e := &m.entries[i]
+	e.issued = true
+	e.issueC = cycle
+	m.stats.RSWaitSum[e.fu] += int64(max(0, e.readyMax-e.dispatchC))
+	m.stats.RSWaitN[e.fu]++
+
+	switch {
+	case e.isLoad:
+		m.executeLoad(i, cycle)
+	case e.isStore:
+		// Address generation; the cache write happens at completion.
+		e.doneC = cycle + 1
+		e.resultReadyC = e.doneC
+	default:
+		lat := execLatency(e.rec.Op)
+		e.doneC = cycle + lat
+		switch e.pred {
+		case trace.PredCorrect:
+			// Forwarded at dispatch; verified one cycle after the
+			// result computes (general value prediction, §7).
+			e.verifyC = e.doneC + 1
+		case trace.PredIncorrect:
+			e.verifyC = e.doneC + 1
+			e.resultReadyC = e.doneC + 1
+		default:
+			if e.resultReadyC == unknown {
+				e.resultReadyC = e.doneC
+			}
+		}
+		if e.resultReadyC == unknown {
+			e.resultReadyC = e.doneC
+		}
+		switch e.fu {
+		case MCFX:
+			m.mcfxBusyUntil = e.doneC // non-pipelined
+		case FPU:
+			if isa.ClassOf(e.rec.Op) == isa.ClassComplexFP {
+				m.fpuBusyUntil = e.doneC // FDIV/FSQRT are non-pipelined
+			}
+		}
+	}
+}
+
+func (m *machine) executeLoad(i, cycle int) {
+	e := &m.entries[i]
+	addr := e.rec.Addr
+
+	// Check the uncommitted store queue. An older overlapping store that
+	// has executed forwards its data (1 cycle). One that has not yet
+	// executed cannot be detected by the hardware: the load proceeds
+	// speculatively and the 620's alias-detection logic refetches it
+	// when the store's address is generated (§4.1).
+	switch m.storeQueueCheck(i, cycle) {
+	case sqForward:
+		e.doneC = cycle + 1
+		m.finishLoad(e, cycle)
+		return
+	case sqAlias:
+		// Refetch: the load's value becomes available only after the
+		// conflicting store executes plus a refetch penalty.
+		st := &m.entries[e.aliasStore]
+		avail := cycle + m.cfg.L1Latency
+		if st.issued {
+			avail = max(avail, st.doneC+aliasRefetchPenalty+m.cfg.L1Latency)
+		} else {
+			// The store has not even issued; bound the penalty by
+			// treating detection as happening at our own issue+1.
+			avail = cycle + aliasRefetchPenalty + m.cfg.L1Latency
+		}
+		m.stats.AliasRefetches++
+		e.doneC = avail
+		m.finishLoad(e, cycle)
+		return
+	}
+
+	bank := m.hier.L1.Bank(addr)
+	accessCycle := cycle + 1 // EX2 cache cycle
+	slot := &m.bankRing[accessCycle&(len(m.bankRing)-1)][bank]
+	conflict := *slot >= 1
+
+	if e.pred == trace.PredConstant {
+		// The CVU verifies the value without needing memory; the
+		// access is initiated anyway, but a bank conflict or cache
+		// miss cancels it instead of retrying (paper §3.4, §6.5).
+		if conflict || !m.hier.ProbeL1(addr) {
+			e.cancelled = true
+			e.doneC = cycle + 1
+			m.finishLoad(e, cycle)
+			return
+		}
+		// Bank free and line present: the access proceeds as a hit.
+		*slot++
+		m.stats.CacheAccesses++
+		m.hier.L1.Access(addr)
+		e.doneC = cycle + m.cfg.L1Latency
+		m.finishLoad(e, cycle)
+		return
+	}
+
+	if conflict {
+		m.noteConflict(accessCycle)
+		accessCycle++ // retry next cycle
+		slot = &m.bankRing[accessCycle&(len(m.bankRing)-1)][bank]
+	}
+	*slot++
+	m.stats.CacheAccesses++
+	res := m.hier.Access(addr)
+	done := accessCycle - 1 + res.Latency
+	if !res.L1Hit {
+		// A miss needs a free MSHR; with all miss registers busy the
+		// request waits for the earliest one to retire.
+		done = m.allocMSHR(accessCycle, res.Latency)
+	}
+	e.doneC = done
+	m.finishLoad(e, cycle)
+}
+
+// allocMSHR models the bounded set of outstanding-miss registers: a miss
+// starting at `start` with the given service latency occupies an MSHR until
+// its data returns; if all MSHRs are busy the miss is deferred until the
+// earliest outstanding one completes.
+func (m *machine) allocMSHR(start, latency int) (done int) {
+	// Drop retired entries.
+	live := m.missBusyUntil[:0]
+	for _, d := range m.missBusyUntil {
+		if d > start {
+			live = append(live, d)
+		}
+	}
+	m.missBusyUntil = live
+	if m.cfg.MSHRs > 0 && len(live) >= m.cfg.MSHRs {
+		earliest := live[0]
+		for _, d := range live[1:] {
+			if d < earliest {
+				earliest = d
+			}
+		}
+		m.stats.MSHRStalls++
+		start = earliest
+	}
+	done = start - 1 + latency
+	m.missBusyUntil = append(m.missBusyUntil, done)
+	return done
+}
+
+// finishLoad sets verification and result-forwarding times per the load's
+// prediction state.
+func (m *machine) finishLoad(e *entry, cycle int) {
+	switch e.pred {
+	case trace.PredConstant:
+		// CVU match: verified when the address is known; no value
+		// comparison cycle.
+		e.verifyC = e.doneC
+		// resultReadyC was already set at dispatch.
+	case trace.PredCorrect:
+		e.verifyC = e.doneC + 1 // value comparison takes one extra cycle
+	case trace.PredIncorrect:
+		e.verifyC = e.doneC + 1
+		// Dependents reissue and see the correct value one cycle
+		// later than they would have without prediction (§4.1).
+		e.resultReadyC = e.doneC + 1
+	default:
+		e.verifyC = e.doneC
+		e.resultReadyC = e.doneC
+	}
+	if e.resultReadyC == unknown {
+		e.resultReadyC = e.doneC
+	}
+	if e.pred == trace.PredCorrect || e.pred == trace.PredConstant {
+		m.stats.VerifyLatency[verifyBucket(e.verifyC-e.dispatchC)]++
+	}
+}
+
+// aliasRefetchPenalty is the extra latency charged when a load issued past
+// an older store turns out to alias it and must be refetched.
+const aliasRefetchPenalty = 3
+
+type sqResult int
+
+const (
+	sqClear   sqResult = iota // no older overlapping store
+	sqForward                 // overlapping store already executed: forward
+	sqAlias                   // overlapping store not yet executed: refetch
+)
+
+// storeQueueCheck scans older in-flight stores for an overlap with load i
+// and classifies the situation. On sqAlias the conflicting store's index is
+// recorded in the load's aliasStore field.
+func (m *machine) storeQueueCheck(i, cycle int) sqResult {
+	e := &m.entries[i]
+	for j := i - 1; j >= m.head; j-- {
+		o := &m.entries[j]
+		if !o.isStore || o.completed {
+			continue
+		}
+		if !rangesOverlap(o.rec.Addr, int(o.rec.Size), e.rec.Addr, int(e.rec.Size)) {
+			continue
+		}
+		if o.issued && o.doneC <= cycle {
+			return sqForward
+		}
+		e.aliasStore = j
+		return sqAlias
+	}
+	return sqClear
+}
+
+func rangesOverlap(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+// noteConflict records a bank-conflict event, counting each conflicted
+// cycle once for Figure 9.
+func (m *machine) noteConflict(cycle int) {
+	m.stats.BankConflicts++
+	if cycle != m.lastConflictCycle {
+		m.stats.BankConflictCycles++
+		m.lastConflictCycle = cycle
+	}
+}
+
+// --- completion ---
+
+func (m *machine) complete(cycle int) {
+	for k := 0; k < m.cfg.CompleteWidth && m.head < m.dispPtr; k++ {
+		e := &m.entries[m.head]
+		if !e.issued || cycle < e.doneC {
+			return
+		}
+		if e.verifyC != unknown && cycle < e.verifyC {
+			return // loads complete only after verification
+		}
+		if e.isStore {
+			// Commit the store: the cache is written now, using a
+			// bank port (Figure 9's conflict source).
+			bank := m.hier.L1.Bank(e.rec.Addr)
+			slot := &m.bankRing[cycle&(len(m.bankRing)-1)][bank]
+			if *slot >= 1 {
+				// Port busy: the store retries next cycle
+				// (stop completing this cycle).
+				m.noteConflict(cycle)
+				return
+			}
+			*slot++
+			m.stats.CacheAccesses++
+			m.hier.Access(e.rec.Addr)
+		}
+		e.completed = true
+		m.head++
+	}
+}

@@ -1,0 +1,100 @@
+package ppc620
+
+import (
+	"lvp/internal/bpred"
+	"lvp/internal/cache"
+	"lvp/internal/trace"
+)
+
+// VerifyBuckets are the load-verification-latency buckets of paper Figure 7:
+// <4, 4, 5, 6, 7, >7 cycles from dispatch to verification.
+var VerifyBuckets = []string{"<4", "4", "5", "6", "7", ">7"}
+
+// Stats is everything one simulation run reports.
+type Stats struct {
+	Machine      string
+	LVPConfig    string // "" when no LVP unit is attached
+	Cycles       int
+	Instructions int
+
+	// Loads by annotated prediction state, as consumed by the model.
+	LoadStates [trace.NumPredStates]int
+
+	// VerifyLatency histograms dispatch→verify distance for
+	// correctly-predicted loads (Figure 7 buckets).
+	VerifyLatency [6]int
+
+	// RSWaitSum/RSWaitN accumulate, per FU type, the cycles instructions
+	// spent in a reservation station waiting for their true dependencies
+	// (Figure 8).
+	RSWaitSum [NumFU]int64
+	RSWaitN   [NumFU]int64
+
+	// BankConflictCycles counts cycles in which at least one L1 bank had
+	// more than one requester (Figure 9). BankConflicts counts the
+	// individual conflict events.
+	BankConflictCycles int
+	BankConflicts      int
+
+	// Dispatch-stall accounting: cycles in which dispatch stopped early
+	// for each reason (diagnostics; not a paper figure).
+	StallCompletion int
+	StallRS         [NumFU]int
+	StallRename     int
+	StallMemSlots   int
+	StallFetchEmpty int
+
+	// MSHRStalls counts misses deferred because every miss register was
+	// busy.
+	MSHRStalls int
+
+	// AliasRefetches counts loads refetched by the store-to-load alias
+	// detection logic (they issued past an older store that turned out
+	// to overlap).
+	AliasRefetches int
+
+	// CacheAccesses counts L1 data accesses actually performed (constant
+	// loads skip the cache, so this drops under LVP).
+	CacheAccesses int
+	L1            cache.Stats
+	L2            cache.Stats
+	Branch        bpred.Stats
+}
+
+// IPC is instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// BankConflictRate is the fraction of cycles with at least one bank
+// conflict (Figure 9's y-axis).
+func (s Stats) BankConflictRate() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BankConflictCycles) / float64(s.Cycles)
+}
+
+// AvgRSWait is the mean reservation-station dependency-wait for one FU type
+// (Figure 8).
+func (s Stats) AvgRSWait(f FU) float64 {
+	if s.RSWaitN[f] == 0 {
+		return 0
+	}
+	return float64(s.RSWaitSum[f]) / float64(s.RSWaitN[f])
+}
+
+// verifyBucket maps a dispatch→verify latency to a Figure 7 bucket index.
+func verifyBucket(lat int) int {
+	switch {
+	case lat < 4:
+		return 0
+	case lat > 7:
+		return 5
+	default:
+		return lat - 3 // 4..7 -> 1..4
+	}
+}

@@ -1,0 +1,87 @@
+package prog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lvp/internal/isa"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// Build resolves all label and data fixups and returns the linked program.
+func (b *Builder) Build() (*Program, error) {
+	for _, fix := range b.labelFix {
+		idx, ok := b.labels[fix.label]
+		if !ok {
+			b.Errf("unresolved code label %q", fix.label)
+			continue
+		}
+		b.insts[fix.inst].Imm = int64(CodeBase) + int64(idx)*isa.InstBytes
+	}
+	for _, fix := range b.dataFix {
+		var addr uint64
+		if fix.isCode {
+			idx, ok := b.labels[fix.label]
+			if !ok {
+				b.Errf("unresolved code label %q in data fixup", fix.label)
+				continue
+			}
+			addr = CodeBase + uint64(idx)*isa.InstBytes
+		} else {
+			a, ok := b.symbols[fix.label]
+			if !ok {
+				b.Errf("unresolved data symbol %q in data fixup", fix.label)
+				continue
+			}
+			addr = a
+		}
+		switch fix.width {
+		case 4:
+			binary.LittleEndian.PutUint32(b.data[fix.off:], uint32(addr))
+		case 8:
+			binary.LittleEndian.PutUint64(b.data[fix.off:], addr)
+		default:
+			b.Errf("bad data fixup width %d", fix.width)
+		}
+	}
+	if _, ok := b.labels["main"]; !ok {
+		b.Errf("program does not define main")
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	funcs := make(map[string]uint64, len(b.labels))
+	for name, idx := range b.labels {
+		funcs[name] = CodeBase + uint64(idx)*isa.InstBytes
+	}
+	symbols := make(map[string]uint64, len(b.symbols))
+	for name, addr := range b.symbols {
+		symbols[name] = addr
+	}
+	code := make([]isa.Inst, len(b.insts))
+	copy(code, b.insts)
+	data := make([]byte, len(b.data))
+	copy(data, b.data)
+	return &Program{
+		Name:    b.name,
+		Target:  b.target,
+		Code:    code,
+		Data:    map[uint64][]byte{DataBase: data},
+		Entry:   CodeBase,
+		Symbols: symbols,
+		Funcs:   funcs,
+	}, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and examples
+// where the program text is a constant.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("prog: build failed: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,334 @@
+package prog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lvp/internal/isa"
+)
+
+// Builder assembles a VLR program: instructions, labels, a globals segment
+// (constant pool, GOT, jump tables, benchmark data), and the startup stub.
+//
+// Builder methods never fail individually; errors (duplicate labels,
+// unresolved references, oversized constants) are accumulated and reported
+// by Build. This keeps benchmark code linear and readable.
+type Builder struct {
+	target Target
+	name   string
+
+	insts    []isa.Inst
+	labels   map[string]int // label -> instruction index
+	labelFix []labelFixup
+
+	data    []byte // globals segment, based at DataBase
+	symbols map[string]uint64
+	dataFix []dataFixup
+
+	pool     map[poolKey]uint64 // deduplicated constant pool
+	got      map[string]uint64  // GOT entry address per symbol/function
+	labelSeq int
+
+	errs []error
+}
+
+type labelFixup struct {
+	inst  int
+	label string
+}
+
+type dataFixup struct {
+	off    uint64 // offset into data segment
+	label  string
+	isCode bool // resolve against code labels instead of data symbols
+	width  int
+}
+
+type poolKey struct {
+	bits  uint64
+	fp    bool
+	width int
+}
+
+// New returns a Builder for the named program and codegen target. The
+// startup stub (_start: set up SP and GP, call main, halt) is emitted
+// immediately; the program must define a "main" function.
+func New(name string, target Target) *Builder {
+	b := &Builder{
+		target:  target,
+		name:    name,
+		labels:  make(map[string]int),
+		symbols: make(map[string]uint64),
+		pool:    make(map[poolKey]uint64),
+		got:     make(map[string]uint64),
+	}
+	b.Label("_start")
+	b.Li(SP, int64(StackTop))
+	b.Li(GP, int64(DataBase))
+	b.Call("main")
+	b.Halt()
+	return b
+}
+
+// Target reports the builder's codegen target.
+func (b *Builder) Target() Target { return b.target }
+
+// Errf records a build error.
+func (b *Builder) Errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("prog %s: "+format, append([]any{b.name}, args...)...))
+}
+
+// --- raw emission ---
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(i isa.Inst) { b.insts = append(b.insts, i) }
+
+// Op3 emits a three-register instruction.
+func (b *Builder) Op3(op isa.Op, rd, ra, rb isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// OpI emits a register-immediate instruction.
+func (b *Builder) OpI(op isa.Op, rd, ra isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Li emits a full-width load-immediate. Prefer MaterializeInt in benchmark
+// code so the target's constant-pool policy applies.
+func (b *Builder) Li(rd isa.Reg, imm int64) { b.OpI(isa.LI, rd, Zero, imm) }
+
+// Mv copies ra into rd.
+func (b *Builder) Mv(rd, ra isa.Reg) { b.Op3(isa.OR, rd, ra, Zero) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP}) }
+
+// Out emits the value of ra to the program's output stream (self-check).
+func (b *Builder) Out(ra isa.Reg) { b.Emit(isa.Inst{Op: isa.OUT, Ra: ra}) }
+
+// Halt stops the program.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.HALT}) }
+
+// --- labels and control flow ---
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.Errf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// NewLabel returns a fresh unique label with the given prefix.
+func (b *Builder) NewLabel(prefix string) string {
+	b.labelSeq++
+	return fmt.Sprintf(".%s%d", prefix, b.labelSeq)
+}
+
+// Branch emits a conditional branch to label.
+func (b *Builder) Branch(op isa.Op, ra, rb isa.Reg, label string) {
+	if !isa.IsCondBranch(op) {
+		b.Errf("Branch called with non-branch op %v", op)
+		return
+	}
+	b.labelFix = append(b.labelFix, labelFixup{inst: len(b.insts), label: label})
+	b.Emit(isa.Inst{Op: op, Ra: ra, Rb: rb})
+}
+
+// Jump emits an unconditional jump to label.
+func (b *Builder) Jump(label string) {
+	b.labelFix = append(b.labelFix, labelFixup{inst: len(b.insts), label: label})
+	b.Emit(isa.Inst{Op: isa.JAL, Rd: Zero})
+}
+
+// Call emits a call to label, linking through RA.
+func (b *Builder) Call(label string) {
+	b.labelFix = append(b.labelFix, labelFixup{inst: len(b.insts), label: label})
+	b.Emit(isa.Inst{Op: isa.JAL, Rd: RA})
+}
+
+// CallReg emits an indirect call through ra, linking through RA.
+func (b *Builder) CallReg(ra isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.JALR, Rd: RA, Ra: ra})
+}
+
+// JumpReg emits an indirect jump through ra without linking.
+func (b *Builder) JumpReg(ra isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.JALR, Rd: Zero, Ra: ra})
+}
+
+// Ret returns through RA.
+func (b *Builder) Ret() { b.Emit(isa.Inst{Op: isa.JALR, Rd: Zero, Ra: RA}) }
+
+// --- memory access ---
+
+// Load emits an explicit load with a load-class tag.
+func (b *Builder) Load(op isa.Op, rd, base isa.Reg, off int64, class isa.LoadClass) {
+	if !isa.IsLoad(op) {
+		b.Errf("Load called with non-load op %v", op)
+		return
+	}
+	b.Emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: off, Class: class})
+}
+
+// Store emits an explicit store of rb to base+off.
+func (b *Builder) Store(op isa.Op, rb, base isa.Reg, off int64) {
+	if !isa.IsStore(op) {
+		b.Errf("Store called with non-store op %v", op)
+		return
+	}
+	b.Emit(isa.Inst{Op: op, Rb: rb, Ra: base, Imm: off})
+}
+
+// ptrLoadOp is the opcode used to load a pointer-width value.
+func (b *Builder) ptrLoadOp() isa.Op {
+	if b.target.PtrBytes == 8 {
+		return isa.LD
+	}
+	return isa.LWU // addresses are unsigned
+}
+
+// ptrStoreOp is the opcode used to store a pointer-width value.
+func (b *Builder) ptrStoreOp() isa.Op {
+	if b.target.PtrBytes == 8 {
+		return isa.SD
+	}
+	return isa.SW
+}
+
+// intLoadOp is the opcode used to load a natural-width integer.
+func (b *Builder) intLoadOp() isa.Op {
+	if b.target.PtrBytes == 8 {
+		return isa.LD
+	}
+	return isa.LW
+}
+
+// LoadPtr loads a pointer-width value (class defaults to data address).
+func (b *Builder) LoadPtr(rd, base isa.Reg, off int64, class isa.LoadClass) {
+	b.Load(b.ptrLoadOp(), rd, base, off, class)
+}
+
+// StorePtr stores a pointer-width value.
+func (b *Builder) StorePtr(rb, base isa.Reg, off int64) {
+	b.Store(b.ptrStoreOp(), rb, base, off)
+}
+
+// LoadInt loads a natural-width (target word) integer as int data.
+func (b *Builder) LoadInt(rd, base isa.Reg, off int64) {
+	b.Load(b.intLoadOp(), rd, base, off, isa.LoadIntData)
+}
+
+// StoreInt stores a natural-width integer.
+func (b *Builder) StoreInt(rb, base isa.Reg, off int64) {
+	b.Store(b.ptrStoreOp(), rb, base, off)
+}
+
+// PtrBytes reports the target pointer width.
+func (b *Builder) PtrBytes() int64 { return int64(b.target.PtrBytes) }
+
+// PtrShift reports log2 of the pointer width (for table indexing).
+func (b *Builder) PtrShift() int64 {
+	if b.target.PtrBytes == 8 {
+		return 3
+	}
+	return 2
+}
+
+// --- constants ---
+
+// MaterializeInt places the constant v in rd the way the target compiler
+// would: small constants inline via LI, wide ones via a constant-pool load
+// (paper §2 "Program constants").
+func (b *Builder) MaterializeInt(rd isa.Reg, v int64) {
+	if fitsBits(v, b.target.ImmBits) {
+		b.Li(rd, v)
+		return
+	}
+	b.LoadConst(rd, v)
+}
+
+func fitsBits(v int64, bits int) bool {
+	if bits >= 64 {
+		return true
+	}
+	lim := int64(1) << (bits - 1)
+	return v >= -lim && v < lim
+}
+
+// LoadConst loads the integer constant v from the constant pool (always a
+// memory load, tagged int data).
+func (b *Builder) LoadConst(rd isa.Reg, v int64) {
+	w := b.target.PtrBytes
+	if w == 4 && !fitsBits(v, 33) { // must fit 32 bits (signed or unsigned)
+		b.Errf("constant %#x does not fit the 32-bit target pool", uint64(v))
+		v = int64(int32(v))
+	}
+	addr := b.poolEntry(poolKey{bits: uint64(v), fp: false, width: w})
+	op := isa.LW
+	if w == 8 {
+		op = isa.LD
+	}
+	b.Load(op, rd, GP, int64(addr-DataBase), isa.LoadIntData)
+}
+
+// LoadConstAddr loads the integer constant v (an address) from the constant
+// pool, tagged as a data address. Used for base addresses of large static
+// objects.
+func (b *Builder) LoadConstAddr(rd isa.Reg, v int64) {
+	w := b.target.PtrBytes
+	addr := b.poolEntry(poolKey{bits: uint64(v), fp: false, width: w})
+	b.Load(b.ptrLoadOp(), rd, GP, int64(addr-DataBase), isa.LoadDataAddr)
+}
+
+// LoadConstF loads the float64 constant v from the constant pool.
+func (b *Builder) LoadConstF(fd isa.Reg, v float64) {
+	addr := b.poolEntry(poolKey{bits: math.Float64bits(v), fp: true, width: 8})
+	b.Load(isa.FLD, fd, GP, int64(addr-DataBase), isa.LoadFPData)
+}
+
+func (b *Builder) poolEntry(k poolKey) uint64 {
+	if addr, ok := b.pool[k]; ok {
+		return addr
+	}
+	b.align(k.width)
+	addr := DataBase + uint64(len(b.data))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], k.bits)
+	b.data = append(b.data, buf[:k.width]...)
+	b.pool[k] = addr
+	return addr
+}
+
+// --- GOT (global offset table / TOC) ---
+
+// GotData loads the address of a data symbol through the GOT, the paper's
+// "addressability" and "glue code" idiom. Tagged as a data-address load.
+func (b *Builder) GotData(rd isa.Reg, symbol string) {
+	entry := b.gotEntry("d:"+symbol, symbol, false)
+	b.LoadPtr(rd, GP, int64(entry-DataBase), isa.LoadDataAddr)
+}
+
+// GotFunc loads the address of a function through the GOT, the paper's
+// cross-module call / function-pointer idiom. Tagged as an
+// instruction-address load.
+func (b *Builder) GotFunc(rd isa.Reg, fn string) {
+	entry := b.gotEntry("f:"+fn, fn, true)
+	b.LoadPtr(rd, GP, int64(entry-DataBase), isa.LoadInstAddr)
+}
+
+func (b *Builder) gotEntry(key, label string, isCode bool) uint64 {
+	if addr, ok := b.got[key]; ok {
+		return addr
+	}
+	b.align(b.target.PtrBytes)
+	addr := DataBase + uint64(len(b.data))
+	b.dataFix = append(b.dataFix, dataFixup{
+		off: uint64(len(b.data)), label: label, isCode: isCode, width: b.target.PtrBytes,
+	})
+	b.data = append(b.data, make([]byte, b.target.PtrBytes)...)
+	b.got[key] = addr
+	return addr
+}

@@ -1,0 +1,269 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"lvp/internal/isa"
+)
+
+// These tests exercise the builder surface directly (the benchmark suite
+// covers it end-to-end; here we pin individual behaviours).
+
+func TestFrameWithFPSaves(t *testing.T) {
+	b := New("fp", AXP)
+	f := b.Func("main", 2, S0)
+	f.SaveFP(FS0, FS1)
+	b.LoadConstF(FS0, 1.0)
+	b.LoadConstF(FS1, 2.0)
+	f.StoreLocalF(FS0, 0) // overlaps SaveFP slot 1? slot 0 is free
+	f.LoadLocalF(FT0, 0)
+	f.Epilogue()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// The epilogue must restore FP saves with FLD (fp-data class).
+	fpRestores := 0
+	for _, in := range p.Code {
+		if in.Op == isa.FLD && in.Class == isa.LoadFPData && in.Ra == SP {
+			fpRestores++
+		}
+	}
+	if fpRestores < 3 { // 2 SaveFP restores + 1 LoadLocalF
+		t.Errorf("fp restores = %d, want >= 3", fpRestores)
+	}
+}
+
+func TestFrameLocalPtrTagging(t *testing.T) {
+	b := New("lp", AXP)
+	f := b.Func("main", 2)
+	f.StoreLocalPtr(S0, 0)
+	f.LoadLocalPtr(S1, 0)
+	f.StoreLocal(S2, 1)
+	f.LoadLocal(S3, 1)
+	f.Epilogue()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var daddr, idata int
+	for _, in := range p.Code {
+		if isa.IsLoad(in.Op) && in.Ra == SP {
+			switch in.Class {
+			case isa.LoadDataAddr:
+				daddr++
+			case isa.LoadIntData:
+				idata++
+			}
+		}
+	}
+	if daddr == 0 || idata == 0 {
+		t.Errorf("spill reload classes: daddr=%d idata=%d, want both > 0", daddr, idata)
+	}
+}
+
+func TestEpilogueAt(t *testing.T) {
+	b := New("ea", AXP)
+	f := b.Func("main", 0)
+	b.Jump("exit")
+	f.EpilogueAt("exit")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Funcs["exit"]; !ok {
+		t.Error("EpilogueAt must define the label")
+	}
+}
+
+func TestMarkPtrAffectsEpilogueClass(t *testing.T) {
+	b := New("mp", AXP)
+	f := b.Func("main", 0, S0, S1)
+	f.MarkPtr(S0)
+	f.Epilogue()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[isa.LoadClass]int{}
+	for _, in := range p.Code {
+		if isa.IsLoad(in.Op) && in.Ra == SP {
+			classes[in.Class]++
+		}
+	}
+	if classes[isa.LoadDataAddr] != 1 { // S0
+		t.Errorf("data-addr restores = %d, want 1", classes[isa.LoadDataAddr])
+	}
+	if classes[isa.LoadIntData] != 1 { // S1
+		t.Errorf("int-data restores = %d, want 1", classes[isa.LoadIntData])
+	}
+	if classes[isa.LoadInstAddr] != 1 { // RA
+		t.Errorf("inst-addr restores = %d, want 1", classes[isa.LoadInstAddr])
+	}
+}
+
+func TestErrorCheckEmitsFlagLoad(t *testing.T) {
+	b := New("ec", AXP)
+	b.Zeros("flag", 8)
+	b.Label("main")
+	b.ErrorCheck("flag", "handler")
+	b.Ret()
+	b.Label("handler")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range p.Code {
+		if isa.IsLoad(in.Op) && in.Ra == GP && in.Class == isa.LoadIntData {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ErrorCheck must load the flag GP-relative")
+	}
+}
+
+func TestBadOpsReported(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Load(isa.ADD, T0, T1, 0, isa.LoadIntData) },
+		func(b *Builder) { b.Store(isa.ADD, T0, T1, 0) },
+		func(b *Builder) { b.Branch(isa.JAL, T0, T1, "main") },
+	}
+	for i, f := range cases {
+		b := New("bad", AXP)
+		b.Label("main")
+		f(b)
+		b.Ret()
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: expected build error", i)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild must panic on a broken program")
+		}
+	}()
+	b := New("boom", AXP)
+	b.Label("main")
+	b.Jump("missing")
+	b.MustBuild()
+}
+
+func TestMustBuildOK(t *testing.T) {
+	b := New("ok", AXP)
+	b.Label("main")
+	b.Ret()
+	if p := b.MustBuild(); p == nil || p.Name != "ok" {
+		t.Error("MustBuild should return the program")
+	}
+}
+
+func TestPCToIndex(t *testing.T) {
+	b := New("pc", AXP)
+	b.Label("main")
+	b.Nop()
+	b.Ret()
+	p := b.MustBuild()
+	if _, ok := p.PCToIndex(CodeBase - 4); ok {
+		t.Error("below code base must fail")
+	}
+	if _, ok := p.PCToIndex(CodeBase + 2); ok {
+		t.Error("misaligned pc must fail")
+	}
+	if _, ok := p.PCToIndex(CodeBase + uint64(len(p.Code))*4); ok {
+		t.Error("past end must fail")
+	}
+	if i, ok := p.PCToIndex(CodeBase); !ok || i != 0 {
+		t.Error("entry pc must map to index 0")
+	}
+}
+
+func TestFloats64AndWords32(t *testing.T) {
+	b := New("data", PPC)
+	b.Floats64("fs", []float64{1.5, -2.5})
+	b.Words32("ws", []int32{-1, 7})
+	b.Label("main")
+	b.Ret()
+	p := b.MustBuild()
+	data := p.Data[DataBase]
+	fOff := p.Symbols["fs"] - DataBase
+	if got := le64(data[fOff:]); got != 0x3FF8000000000000 {
+		t.Errorf("float bits = %#x", got)
+	}
+	wOff := p.Symbols["ws"] - DataBase
+	if got := uint32(le64(data[wOff:]) & 0xFFFFFFFF); got != 0xFFFFFFFF {
+		t.Errorf("word32 = %#x", got)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestVCallAndCallThroughShape(t *testing.T) {
+	b := New("vc", AXP)
+	b.VTable("vt", []string{"m0"})
+	b.PtrTable("fp", []string{"m0"}, true)
+	fr := b.Func("main", 0)
+	b.GotData(A1, "vt")
+	b.VCall(A1, 0, 0)
+	b.CallThrough("fp")
+	fr.Epilogue()
+	g := b.Func("m0", 0)
+	g.Epilogue()
+	p := b.MustBuild()
+	instAddrLoads := 0
+	for _, in := range p.Code {
+		if isa.IsLoad(in.Op) && in.Class == isa.LoadInstAddr && in.Ra != SP {
+			instAddrLoads++
+		}
+	}
+	if instAddrLoads < 2 {
+		t.Errorf("vcall + callthrough should emit >= 2 inst-addr loads, got %d", instAddrLoads)
+	}
+}
+
+func TestErrfAggregatesErrors(t *testing.T) {
+	b := New("multi", AXP)
+	b.Label("main")
+	b.SymbolAddr("nope1")
+	b.SymbolAddr("nope2")
+	b.Ret()
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nope1") || !strings.Contains(msg, "nope2") {
+		t.Errorf("error should mention both symbols: %v", msg)
+	}
+}
+
+func TestSwitchBoundsDefault(t *testing.T) {
+	// Out-of-range index must reach the default label.
+	b := New("sw", AXP)
+	f := b.Func("main", 0)
+	b.Li(A0, 99) // out of range
+	b.Switch(A0, T0, "jt", []string{"c0"}, "cdef")
+	b.Label("c0")
+	b.Li(A0, 1)
+	b.Jump("swdone")
+	b.Label("cdef")
+	b.Li(A0, 2)
+	b.Label("swdone")
+	f.Epilogue()
+	p := b.MustBuild()
+	if p.Symbols["jt"] == 0 {
+		t.Error("jump table symbol missing")
+	}
+}

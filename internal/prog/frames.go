@@ -1,0 +1,140 @@
+package prog
+
+import "lvp/internal/isa"
+
+// Frame describes an active function's stack frame. Layout (offsets from
+// SP after the prologue):
+//
+//	[0 .. 8*locals)            local slots (8 bytes each, all targets)
+//	[8*locals ..)              saved callee registers (pointer width)
+//	top-of-frame - ptr         saved RA
+//
+// The prologue stores RA and the requested callee-saved registers; the
+// epilogue reloads them. Those reloads are exactly the paper's
+// "call-subgraph identities" and "register spill code" loads: the RA reload
+// is tagged as an instruction-address load, callee-saved reloads default to
+// int data (use SavePtrRegs for registers known to hold pointers).
+type Frame struct {
+	b       *Builder
+	locals  int
+	saved   []isa.Reg
+	savedFP []isa.Reg // FP callee-saved registers
+	ptrRegs map[isa.Reg]bool
+	size    int64
+}
+
+// Func starts a new function: defines the label and emits a prologue that
+// saves RA plus the given callee-saved registers, with space for `locals`
+// 8-byte local slots. Returns the Frame for use with locals and the
+// epilogue.
+func (b *Builder) Func(name string, locals int, saved ...isa.Reg) *Frame {
+	b.Label(name)
+	return b.Prologue(locals, saved...)
+}
+
+// Prologue emits frame setup without defining a label (for internal entry
+// points).
+func (b *Builder) Prologue(locals int, saved ...isa.Reg) *Frame {
+	f := &Frame{b: b, locals: locals, saved: saved, ptrRegs: make(map[isa.Reg]bool)}
+	ptr := b.PtrBytes()
+	f.size = int64(locals)*8 + int64(len(saved))*ptr + ptr
+	if rem := f.size % 8; rem != 0 {
+		f.size += 8 - rem
+	}
+	b.OpI(isa.ADDI, SP, SP, -f.size)
+	b.StorePtr(RA, SP, f.raOff())
+	for i, r := range saved {
+		b.StorePtr(r, SP, f.savedOff(i))
+	}
+	return f
+}
+
+// MarkPtr records that the given callee-saved register holds a pointer, so
+// its epilogue reload is tagged as a data-address load.
+func (f *Frame) MarkPtr(regs ...isa.Reg) {
+	for _, r := range regs {
+		f.ptrRegs[r] = true
+	}
+}
+
+// SaveFP additionally saves FP callee-saved registers in local slots taken
+// from the top of the local area (caller must have reserved enough locals:
+// the last len(regs) slots are consumed).
+func (f *Frame) SaveFP(regs ...isa.Reg) {
+	f.savedFP = regs
+	for i, r := range regs {
+		f.b.Store(isa.FSD, r, SP, f.LocalOff(f.locals-1-i))
+	}
+}
+
+func (f *Frame) raOff() int64 { return f.size - f.b.PtrBytes() }
+
+func (f *Frame) savedOff(i int) int64 {
+	return int64(f.locals)*8 + int64(i)*f.b.PtrBytes()
+}
+
+// LocalOff reports the SP-relative offset of local slot i.
+func (f *Frame) LocalOff(i int) int64 {
+	if i < 0 || i >= f.locals {
+		f.b.Errf("local slot %d out of range (have %d)", i, f.locals)
+		return 0
+	}
+	return int64(i) * 8
+}
+
+// StoreLocal spills rb to local slot i (natural integer width).
+func (f *Frame) StoreLocal(rb isa.Reg, i int) {
+	f.b.StoreInt(rb, SP, f.LocalOff(i))
+}
+
+// LoadLocal reloads local slot i into rd as int data (the paper's "register
+// spill code" idiom).
+func (f *Frame) LoadLocal(rd isa.Reg, i int) {
+	f.b.LoadInt(rd, SP, f.LocalOff(i))
+}
+
+// StoreLocalPtr spills a pointer to local slot i.
+func (f *Frame) StoreLocalPtr(rb isa.Reg, i int) {
+	f.b.StorePtr(rb, SP, f.LocalOff(i))
+}
+
+// LoadLocalPtr reloads a spilled pointer (tagged data address).
+func (f *Frame) LoadLocalPtr(rd isa.Reg, i int) {
+	f.b.LoadPtr(rd, SP, f.LocalOff(i), isa.LoadDataAddr)
+}
+
+// StoreLocalF spills an FP register to local slot i.
+func (f *Frame) StoreLocalF(rb isa.Reg, i int) {
+	f.b.Store(isa.FSD, rb, SP, f.LocalOff(i))
+}
+
+// LoadLocalF reloads an FP spill.
+func (f *Frame) LoadLocalF(rd isa.Reg, i int) {
+	f.b.Load(isa.FLD, rd, SP, f.LocalOff(i), isa.LoadFPData)
+}
+
+// Epilogue restores RA and the callee-saved registers, releases the frame
+// and returns. The RA reload is an instruction-address load; callee-saved
+// reloads are int-data or data-address loads per MarkPtr.
+func (f *Frame) Epilogue() {
+	b := f.b
+	for i, r := range f.savedFP {
+		b.Load(isa.FLD, r, SP, f.LocalOff(f.locals-1-i), isa.LoadFPData)
+	}
+	for i, r := range f.saved {
+		class := isa.LoadIntData
+		if f.ptrRegs[r] {
+			class = isa.LoadDataAddr
+		}
+		b.LoadPtr(r, SP, f.savedOff(i), class)
+	}
+	b.LoadPtr(RA, SP, f.raOff(), isa.LoadInstAddr)
+	b.OpI(isa.ADDI, SP, SP, f.size)
+	b.Ret()
+}
+
+// EpilogueAt emits the epilogue under a label (common "single exit" shape).
+func (f *Frame) EpilogueAt(label string) {
+	f.b.Label(label)
+	f.Epilogue()
+}

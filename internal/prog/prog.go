@@ -1,0 +1,153 @@
+// Package prog builds VLR programs. It plays the role of the compiler and
+// linker in the paper's framework: benchmarks are written against this
+// builder, and the builder deliberately reproduces the code-generation
+// idioms that the paper identifies as the sources of load value locality
+// (§2): program constants loaded from a constant pool, GOT/TOC-style address
+// loads, callee-saved-register and link-register restores, register spill
+// reloads, memory-alias re-loads, switch-table base and entry loads, and
+// virtual-function-pointer loads.
+//
+// Each of those idioms is exposed as a builder method that emits loads
+// tagged with the appropriate isa.LoadClass, so the paper's Figure 2
+// breakdown (FP data / int data / instruction address / data address) is
+// exact rather than inferred.
+package prog
+
+import (
+	"fmt"
+
+	"lvp/internal/isa"
+)
+
+// Memory layout. The VM gives programs a flat byte-addressed space; these
+// bases keep code, globals, heap and stack well separated.
+const (
+	CodeBase  uint64 = 0x0000_1000 // first instruction address
+	DataBase  uint64 = 0x0010_0000 // globals: constant pool, GOT, symbols
+	HeapBase  uint64 = 0x0100_0000 // bump-allocated scratch for benchmarks
+	StackTop  uint64 = 0x0200_0000 // initial SP; stack grows down
+	StackSize uint64 = 0x0004_0000 // reserved stack extent (for bounds checks)
+)
+
+// Register conventions (software ABI, enforced by this package only).
+const (
+	Zero isa.Reg = 0 // hardwired zero
+	AT   isa.Reg = 1 // assembler temporary (builder scratch)
+	SP   isa.Reg = 2 // stack pointer
+	GP   isa.Reg = 3 // global pointer (base of the constant pool / GOT)
+	A0   isa.Reg = 4 // first argument / return value
+	A1   isa.Reg = 5
+	A2   isa.Reg = 6
+	A3   isa.Reg = 7
+	A4   isa.Reg = 8
+	A5   isa.Reg = 9
+	T0   isa.Reg = 10 // caller-saved temporaries T0..T9
+	T1   isa.Reg = 11
+	T2   isa.Reg = 12
+	T3   isa.Reg = 13
+	T4   isa.Reg = 14
+	T5   isa.Reg = 15
+	T6   isa.Reg = 16
+	T7   isa.Reg = 17
+	T8   isa.Reg = 18
+	T9   isa.Reg = 19
+	S0   isa.Reg = 20 // callee-saved S0..S9
+	S1   isa.Reg = 21
+	S2   isa.Reg = 22
+	S3   isa.Reg = 23
+	S4   isa.Reg = 24
+	S5   isa.Reg = 25
+	S6   isa.Reg = 26
+	S7   isa.Reg = 27
+	S8   isa.Reg = 28
+	S9   isa.Reg = 29
+	S10  isa.Reg = 30
+	RA   isa.Reg = 31 // link register
+)
+
+// FP register conventions.
+const (
+	FA0 isa.Reg = 0 // FP argument / return
+	FA1 isa.Reg = 1
+	FA2 isa.Reg = 2
+	FA3 isa.Reg = 3
+	FT0 isa.Reg = 4 // FP temporaries FT0..FT11
+	FT1 isa.Reg = 5
+	FT2 isa.Reg = 6
+	FT3 isa.Reg = 7
+	FT4 isa.Reg = 8
+	FT5 isa.Reg = 9
+	FT6 isa.Reg = 10
+	FT7 isa.Reg = 11
+	FS0 isa.Reg = 16 // FP callee-saved FS0..FS7
+	FS1 isa.Reg = 17
+	FS2 isa.Reg = 18
+	FS3 isa.Reg = 19
+	FS4 isa.Reg = 20
+	FS5 isa.Reg = 21
+	FS6 isa.Reg = 22
+	FS7 isa.Reg = 23
+)
+
+// Target selects the code-generation flavour. The paper traces two ISAs
+// (PowerPC/AIX and Alpha AXP/OSF-1) to show value locality is not an
+// artifact of one compiler; we mirror that with two codegen targets that
+// differ in pointer width and in how aggressively constants are materialised
+// with immediates versus loaded from the constant pool.
+type Target struct {
+	// Name identifies the target in traces and reports.
+	Name string
+	// PtrBytes is the width of pointers and pool constants (4 or 8).
+	PtrBytes int
+	// ImmBits is the widest constant the "compiler" will materialise
+	// inline with LI; anything wider is loaded from the constant pool.
+	// The PowerPC-flavoured target keeps this small (16), producing more
+	// constant-pool traffic, as AIX/xlc did via the TOC.
+	ImmBits int
+}
+
+// PPC is the PowerPC-620-flavoured 32-bit target.
+var PPC = Target{Name: "ppc", PtrBytes: 4, ImmBits: 16}
+
+// AXP is the Alpha-21164-flavoured 64-bit target.
+var AXP = Target{Name: "axp", PtrBytes: 8, ImmBits: 32}
+
+// Targets lists the supported codegen targets in report order.
+var Targets = []Target{AXP, PPC}
+
+// TargetByName returns the named target.
+func TargetByName(name string) (Target, error) {
+	for _, t := range Targets {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Target{}, fmt.Errorf("prog: unknown target %q (want ppc or axp)", name)
+}
+
+// Program is a fully linked VLR program plus its initial data image.
+type Program struct {
+	Name   string
+	Target Target
+	Code   []isa.Inst
+	// Data maps segment base addresses to their initial contents.
+	Data map[uint64][]byte
+	// Entry is the address of the first instruction to execute.
+	Entry uint64
+	// Symbols maps data symbol names to addresses (for tests/debugging).
+	Symbols map[string]uint64
+	// Funcs maps code label names to instruction addresses.
+	Funcs map[string]uint64
+}
+
+// PCToIndex converts an instruction address to an index into Code.
+func (p *Program) PCToIndex(pc uint64) (int, bool) {
+	if pc < CodeBase || (pc-CodeBase)%isa.InstBytes != 0 {
+		return 0, false
+	}
+	idx := int((pc - CodeBase) / isa.InstBytes)
+	if idx >= len(p.Code) {
+		return 0, false
+	}
+	return idx, true
+}

@@ -1,0 +1,220 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"lvp/internal/isa"
+)
+
+func TestTargetByName(t *testing.T) {
+	for _, name := range []string{"ppc", "axp"} {
+		tg, err := TargetByName(name)
+		if err != nil || tg.Name != name {
+			t.Errorf("TargetByName(%q) = %v, %v", name, tg, err)
+		}
+	}
+	if _, err := TargetByName("mips"); err == nil {
+		t.Error("TargetByName(mips) should fail")
+	}
+}
+
+func TestBuildResolvesBranches(t *testing.T) {
+	b := New("t", AXP)
+	b.Label("main")
+	b.Branch(isa.BEQ, T0, T1, "main")
+	b.Jump("main")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	mainPC := p.Funcs["main"]
+	idx, ok := p.PCToIndex(mainPC)
+	if !ok {
+		t.Fatalf("main pc %#x not in program", mainPC)
+	}
+	if got := uint64(p.Code[idx].Imm); got != mainPC {
+		t.Errorf("branch target = %#x, want %#x", got, mainPC)
+	}
+}
+
+func TestBuildFailsOnUnresolvedLabel(t *testing.T) {
+	b := New("t", AXP)
+	b.Label("main")
+	b.Jump("nowhere")
+	b.Ret()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v, want unresolved-label error", err)
+	}
+}
+
+func TestBuildFailsWithoutMain(t *testing.T) {
+	b := New("t", AXP)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "main") {
+		t.Fatalf("err = %v, want missing-main error", err)
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := New("t", AXP)
+	b.Label("main")
+	b.Label("x")
+	b.Label("x")
+	b.Ret()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate-label error", err)
+	}
+}
+
+func TestConstPoolDedupe(t *testing.T) {
+	b := New("t", AXP)
+	b.Label("main")
+	b.LoadConst(T0, 0x1234_5678_9ABC)
+	b.LoadConst(T1, 0x1234_5678_9ABC)
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// The two pool loads must address the same entry.
+	var offs []int64
+	for _, in := range p.Code {
+		if in.Op == isa.LD && in.Ra == GP {
+			offs = append(offs, in.Imm)
+		}
+	}
+	if len(offs) != 2 || offs[0] != offs[1] {
+		t.Errorf("pool offsets = %v, want two identical", offs)
+	}
+}
+
+func TestWideConstantOn32BitTargetFails(t *testing.T) {
+	b := New("t", PPC)
+	b.Label("main")
+	b.LoadConst(T0, 0x1_0000_0001) // does not fit 32 bits
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected build error for oversized 32-bit pool constant")
+	}
+}
+
+func TestGotEntriesDeduped(t *testing.T) {
+	b := New("t", AXP)
+	b.Zeros("glob", 8)
+	b.Label("main")
+	b.GotData(T0, "glob")
+	b.GotData(T1, "glob")
+	b.GotFunc(T2, "main")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var offs []int64
+	for _, in := range p.Code {
+		if in.Op == isa.LD && in.Ra == GP && in.Class == isa.LoadDataAddr {
+			offs = append(offs, in.Imm)
+		}
+	}
+	if len(offs) != 2 || offs[0] != offs[1] {
+		t.Errorf("GOT data offsets = %v, want two identical", offs)
+	}
+}
+
+func TestPtrTableWidthFollowsTarget(t *testing.T) {
+	for _, tg := range Targets {
+		b := New("t", tg)
+		b.Label("main")
+		b.Label("f")
+		b.Ret()
+		addr := b.PtrTable("tab", []string{"f", "main"}, true)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s build: %v", tg.Name, err)
+		}
+		data := p.Data[DataBase]
+		off := addr - DataBase
+		// First entry must decode to the address of "f".
+		var got uint64
+		for i := 0; i < tg.PtrBytes; i++ {
+			got |= uint64(data[off+uint64(i)]) << (8 * i)
+		}
+		if got != p.Funcs["f"] {
+			t.Errorf("%s: table[0] = %#x, want %#x", tg.Name, got, p.Funcs["f"])
+		}
+	}
+}
+
+func TestFrameOffsetsDistinct(t *testing.T) {
+	b := New("t", AXP)
+	f := b.Func("main", 3, S0, S1)
+	seen := map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		off := f.LocalOff(i)
+		if seen[off] {
+			t.Errorf("local slot %d reuses offset %d", i, off)
+		}
+		seen[off] = true
+	}
+	for i := range 2 {
+		off := f.savedOff(i)
+		if seen[off] {
+			t.Errorf("saved reg %d collides at offset %d", i, off)
+		}
+		seen[off] = true
+	}
+	if seen[f.raOff()] {
+		t.Error("RA slot collides with another slot")
+	}
+	f.Epilogue()
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+}
+
+func TestLocalOutOfRangeReported(t *testing.T) {
+	b := New("t", AXP)
+	f := b.Func("main", 1)
+	f.LocalOff(5)
+	f.Epilogue()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for out-of-range local slot")
+	}
+}
+
+func TestSymbolLookupUnknownReported(t *testing.T) {
+	b := New("t", AXP)
+	b.Label("main")
+	b.SymbolAddr("missing")
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for unknown symbol")
+	}
+}
+
+func TestMaterializeIntPolicyDiffersByTarget(t *testing.T) {
+	count := func(tg Target) int {
+		b := New("t", tg)
+		b.Label("main")
+		b.MaterializeInt(T0, 1<<20) // fits 32 bits, not 16
+		b.Ret()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		loads := 0
+		for _, in := range p.Code {
+			if isa.IsLoad(in.Op) {
+				loads++
+			}
+		}
+		return loads
+	}
+	if count(PPC) != 1 {
+		t.Error("PPC target should pool-load a 2^20 constant")
+	}
+	if count(AXP) != 0 {
+		t.Error("AXP target should inline a 2^20 constant")
+	}
+}

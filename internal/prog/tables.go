@@ -1,0 +1,59 @@
+package prog
+
+import "lvp/internal/isa"
+
+// Switch emits a computed branch through a jump table, the paper's
+// "computed branches" idiom: the table base address is a run-time constant
+// loaded from the pool (data-address load), and each table entry is an
+// instruction address (instruction-address load).
+//
+// idx must hold a value in [0, len(targets)); values outside the range
+// branch to defLabel. Clobbers AT and tmp.
+func (b *Builder) Switch(idx, tmp isa.Reg, name string, targets []string, defLabel string) {
+	table := b.PtrTable(name, targets, true)
+	b.OpI(isa.SLTI, AT, idx, int64(len(targets)))
+	b.Branch(isa.BEQ, AT, Zero, defLabel) // idx >= len
+	b.Branch(isa.BLT, idx, Zero, defLabel)
+	// Load the table base address (a run-time constant) from the pool.
+	b.LoadConstAddr(AT, int64(table))
+	b.OpI(isa.SHLI, tmp, idx, b.PtrShift())
+	b.Op3(isa.ADD, AT, AT, tmp)
+	// Load the target instruction address from the jump table.
+	b.LoadPtr(AT, AT, 0, isa.LoadInstAddr)
+	b.JumpReg(AT)
+}
+
+// VTable lays out a virtual-function table: a pointer-width array of
+// function addresses under the given symbol.
+func (b *Builder) VTable(name string, methods []string) uint64 {
+	return b.PtrTable(name, methods, true)
+}
+
+// VCall emits a virtual call: load the vtable pointer from the object
+// (data-address load), load the method pointer from the vtable
+// (instruction-address load), call indirect. Clobbers AT.
+// obj holds the object address; the vtable pointer is at offset vtblOff.
+func (b *Builder) VCall(obj isa.Reg, vtblOff int64, slot int) {
+	b.LoadPtr(AT, obj, vtblOff, isa.LoadDataAddr)
+	b.LoadPtr(AT, AT, int64(slot)*b.PtrBytes(), isa.LoadInstAddr)
+	b.CallReg(AT)
+}
+
+// CallThrough emits an indirect call through a function-pointer variable
+// held in the globals segment (symbol must name a pointer-width slot filled
+// with a code address, e.g. via PtrTable or a store). Clobbers AT.
+func (b *Builder) CallThrough(symbol string) {
+	addr := b.SymbolAddr(symbol)
+	b.LoadPtr(AT, GP, int64(addr-DataBase), isa.LoadInstAddr)
+	b.CallReg(AT)
+}
+
+// ErrorCheck emits the paper's "error-checking" idiom: load a run-time
+// constant flag from the globals segment and branch to handler when it is
+// non-zero. In real programs the flag is almost always zero, which is
+// exactly what makes the load highly value-local. Clobbers AT.
+func (b *Builder) ErrorCheck(flagSymbol string, handler string) {
+	addr := b.SymbolAddr(flagSymbol)
+	b.Load(b.intLoadOp(), AT, GP, int64(addr-DataBase), isa.LoadIntData)
+	b.Branch(isa.BNE, AT, Zero, handler)
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects the rendering style for Table.Render and BarChart.Render.
+type Format int
+
+const (
+	// FormatText renders aligned ASCII tables and bar charts (default).
+	FormatText Format = iota
+	// FormatCSV renders machine-readable CSV (one header row; bar charts
+	// become label,series,value rows). Intended for plotting pipelines.
+	FormatCSV
+)
+
+// ActiveFormat is consulted by Render. The lvpsim CLI sets it once at
+// startup; it is not synchronised and should not be flipped concurrently
+// with rendering.
+var ActiveFormat = FormatText
+
+func (t *Table) renderCSV(w io.Writer) {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		cw.Write([]string{"# " + t.Title})
+	}
+	cw.Write(t.Columns)
+	for _, row := range t.Rows {
+		cw.Write(cleanCells(row))
+	}
+	cw.Flush()
+}
+
+func (c *BarChart) renderCSV(w io.Writer) {
+	cw := csv.NewWriter(w)
+	if c.Title != "" {
+		cw.Write([]string{"# " + c.Title})
+	}
+	cw.Write([]string{"label", "series", "value"})
+	for _, g := range c.Groups {
+		for i, v := range g.Values {
+			name := ""
+			if i < len(c.Series) {
+				name = c.Series[i]
+			}
+			cw.Write([]string{g.Label, name, trimFloat(v)})
+		}
+	}
+	cw.Flush()
+}
+
+func cleanCells(row []string) []string {
+	out := make([]string, len(row))
+	for i, c := range row {
+		out[i] = strings.TrimSuffix(c, "%")
+	}
+	return out
+}
+func trimFloat(v float64) string {
+	// Four decimals is plenty for speedups and percentages.
+	s := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+// Package report renders the reproduced tables and figures as aligned ASCII
+// tables and horizontal bar charts, the terminal stand-ins for the paper's
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (cells are stringified with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in the ActiveFormat.
+func (t *Table) Render(w io.Writer) {
+	if ActiveFormat == FormatCSV {
+		t.renderCSV(w)
+		return
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			// Right-align numeric-looking cells, left-align others.
+			if looksNumeric(cell) {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", max(1, total-2)))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == ',' || r == 'e':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// BarGroup is one labelled cluster of bars (e.g. one benchmark).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart is a grouped horizontal bar chart: one row per (group, series).
+type BarChart struct {
+	Title  string
+	Series []string // bar names within each group
+	Groups []BarGroup
+	// Max scales the bars; 0 means auto (max observed value).
+	Max float64
+	// Unit is appended to the printed value (e.g. "%").
+	Unit string
+	// Width is the bar width in characters (default 40).
+	Width int
+}
+
+// Render writes the chart in the ActiveFormat.
+func (c *BarChart) Render(w io.Writer) {
+	if ActiveFormat == FormatCSV {
+		c.renderCSV(w)
+		return
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", c.Title, strings.Repeat("=", len(c.Title)))
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := c.Max
+	if maxV <= 0 {
+		for _, g := range c.Groups {
+			for _, v := range g.Values {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		if maxV <= 0 {
+			maxV = 1
+		}
+	}
+	labelW, seriesW := 0, 0
+	for _, g := range c.Groups {
+		labelW = max(labelW, len(g.Label))
+	}
+	for _, s := range c.Series {
+		seriesW = max(seriesW, len(s))
+	}
+	for _, g := range c.Groups {
+		for i, v := range g.Values {
+			name := ""
+			if i < len(c.Series) {
+				name = c.Series[i]
+			}
+			filled := int(v / maxV * float64(width))
+			filled = min(max(filled, 0), width)
+			lbl := g.Label
+			if i > 0 {
+				lbl = ""
+			}
+			fmt.Fprintf(w, "%-*s  %-*s |%s%s| %.2f%s\n",
+				labelW, lbl, seriesW, name,
+				strings.Repeat("#", filled), strings.Repeat(" ", width-filled),
+				v, c.Unit)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "T",
+		Columns: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", 42)
+	tab.AddRow("betaxx", "97.5%")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "Name", "alpha", "42", "betaxx", "97.5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: "42" and "97.5%" are right-aligned under Value.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	yes := []string{"42", "-1.5", "97.5%", "1,024", "1.057"}
+	no := []string{"alpha", "", "x42", "1.5x", "%"}
+	for _, s := range yes {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range no {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{
+		Title:  "Chart",
+		Series: []string{"a", "b"},
+		Groups: []BarGroup{
+			{Label: "g1", Values: []float64{50, 100}},
+			{Label: "g2", Values: []float64{0, 25}},
+		},
+		Max:  100,
+		Unit: "%",
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "g2") {
+		t.Errorf("missing group labels:\n%s", out)
+	}
+	// The 100-value bar must be longer than the 50-value bar.
+	var len50, len100 int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "50.00%") {
+			len50 = strings.Count(line, "#")
+		}
+		if strings.Contains(line, "100.00%") {
+			len100 = strings.Count(line, "#")
+		}
+	}
+	if len100 <= len50 || len50 == 0 {
+		t.Errorf("bar lengths wrong: 50%% -> %d chars, 100%% -> %d chars", len50, len100)
+	}
+}
+
+func TestBarChartAutoscaleAndClamp(t *testing.T) {
+	c := BarChart{
+		Series: []string{"x"},
+		Groups: []BarGroup{{Label: "g", Values: []float64{5}}},
+		Width:  10,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if got := strings.Count(buf.String(), "#"); got != 10 {
+		t.Errorf("autoscaled max bar = %d chars, want full width 10", got)
+	}
+	// Values above Max clamp instead of overflowing.
+	c2 := BarChart{
+		Series: []string{"x"},
+		Groups: []BarGroup{{Label: "g", Values: []float64{500}}},
+		Max:    100, Width: 10,
+	}
+	buf.Reset()
+	c2.Render(&buf)
+	if got := strings.Count(buf.String(), "#"); got != 10 {
+		t.Errorf("overflow bar = %d chars, want clamped 10", got)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	old := ActiveFormat
+	ActiveFormat = FormatCSV
+	defer func() { ActiveFormat = old }()
+
+	tab := Table{Title: "T", Columns: []string{"Name", "Rate"}}
+	tab.AddRow("alpha", "97.5%")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# T\n") || !strings.Contains(out, "Name,Rate") {
+		t.Errorf("csv table header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha,97.5\n") {
+		t.Errorf("csv should strip %% suffixes:\n%s", out)
+	}
+
+	c := BarChart{Title: "C", Series: []string{"a"}, Groups: []BarGroup{
+		{Label: "g", Values: []float64{1.2345}},
+	}}
+	buf.Reset()
+	c.Render(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "label,series,value") || !strings.Contains(out, "g,a,1.2345") {
+		t.Errorf("csv chart wrong:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5: "1.5", 1.0: "1", 0: "0", 1.23456: "1.2346", 100: "100",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

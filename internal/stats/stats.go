@@ -1,0 +1,47 @@
+// Package stats provides the small numeric helpers the experiment drivers
+// share: geometric means (the paper reports GM rows), means, and formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeoMean returns the geometric mean of xs (0 if empty; non-positive values
+// are clamped to a tiny epsilon so a single degenerate run cannot zero the
+// whole row).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats a fraction as a percentage with the given precision.
+func Pct(frac float64, prec int) string {
+	return fmt.Sprintf("%.*f%%", prec, 100*frac)
+}
+
+// Ratio formats a speedup ratio the way the paper's tables do (e.g. 1.057).
+func Ratio(r float64) string {
+	return fmt.Sprintf("%.3f", r)
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{4, 1}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean(4,1) = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{1.1, 1.1, 1.1}); math.Abs(g-1.1) > 1e-12 {
+		t.Errorf("GeoMean(const) = %v", g)
+	}
+	// Non-positive values are clamped, not fatal.
+	if g := GeoMean([]float64{0, 1}); g <= 0 || math.IsNaN(g) {
+		t.Errorf("GeoMean with zero = %v", g)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a)/100 + 0.5, float64(b)/100 + 0.5, float64(c)/100 + 0.5}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if s := Pct(0.1234, 1); s != "12.3%" {
+		t.Errorf("Pct = %q", s)
+	}
+	if s := Ratio(1.0567); s != "1.057" {
+		t.Errorf("Ratio = %q", s)
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("VLT1"):
+//
+//	magic   [4]byte  "VLT1"
+//	name    uvarint-len + bytes
+//	target  uvarint-len + bytes
+//	count   uvarint  (number of records)
+//	records ...      (delta/varint encoded, see below)
+//
+// Each record is encoded as a flag byte followed by varints. PCs are encoded
+// as signed deltas from the previous record's PC (almost always +4), which
+// keeps typical records to a few bytes.
+
+const magic = "VLT1"
+
+const (
+	flagMem   = 1 << 0 // has Addr/Value/Size
+	flagTaken = 1 << 1
+	flagTarg  = 1 << 2 // has branch target
+	flagVal   = 1 << 3 // non-memory record with a (nonzero) result value
+)
+
+var (
+	// ErrBadMagic reports that the input is not a VLT1 trace.
+	ErrBadMagic = errors.New("trace: bad magic (not a VLT1 trace file)")
+)
+
+// Write encodes t to w in the VLT1 binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeString(bw, t.Name)
+	writeString(bw, t.Target)
+	writeUvarint(bw, uint64(len(t.Records)))
+	prevPC := uint64(0)
+	var buf [binary.MaxVarintLen64]byte
+	for i := range t.Records {
+		r := &t.Records[i]
+		var flags byte
+		if r.IsLoad() || r.IsStore() {
+			flags |= flagMem
+		} else if r.Value != 0 {
+			flags |= flagVal
+		}
+		if r.Taken {
+			flags |= flagTaken
+		}
+		if r.IsBranch() {
+			flags |= flagTarg
+		}
+		bw.WriteByte(flags)
+		bw.WriteByte(byte(r.Op))
+		bw.WriteByte(byte(r.Rd))
+		bw.WriteByte(byte(r.Ra))
+		bw.WriteByte(byte(r.Rb))
+		bw.WriteByte(byte(r.Class))
+		n := binary.PutVarint(buf[:], int64(r.PC-prevPC))
+		bw.Write(buf[:n])
+		prevPC = r.PC
+		n = binary.PutVarint(buf[:], r.Imm)
+		bw.Write(buf[:n])
+		if flags&flagMem != 0 {
+			bw.WriteByte(r.Size)
+			n = binary.PutUvarint(buf[:], r.Addr)
+			bw.Write(buf[:n])
+			n = binary.PutUvarint(buf[:], r.Value)
+			bw.Write(buf[:n])
+		}
+		if flags&flagVal != 0 {
+			n = binary.PutUvarint(buf[:], r.Value)
+			bw.Write(buf[:n])
+		}
+		if flags&flagTarg != 0 {
+			n = binary.PutUvarint(buf[:], r.Targ)
+			bw.Write(buf[:n])
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a VLT1 trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	t := &Trace{}
+	var err error
+	if t.Name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if t.Target, err = readString(br); err != nil {
+		return nil, fmt.Errorf("trace: reading target: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxReasonable = 1 << 32
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	t.Records = make([]Record, count)
+	prevPC := uint64(0)
+	for i := range t.Records {
+		rec := &t.Records[i]
+		hdr := make([]byte, 6)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return nil, fmt.Errorf("trace: record %d header: %w", i, err)
+		}
+		flags := hdr[0]
+		rec.Op = isaOp(hdr[1])
+		rec.Rd, rec.Ra, rec.Rb = isaReg(hdr[2]), isaReg(hdr[3]), isaReg(hdr[4])
+		rec.Class = isaLoadClass(hdr[5])
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+		}
+		rec.PC = prevPC + uint64(dpc)
+		prevPC = rec.PC
+		if rec.Imm, err = binary.ReadVarint(br); err != nil {
+			return nil, fmt.Errorf("trace: record %d imm: %w", i, err)
+		}
+		rec.Taken = flags&flagTaken != 0
+		if flags&flagMem != 0 {
+			sz, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d size: %w", i, err)
+			}
+			rec.Size = sz
+			if rec.Addr, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+			}
+			if rec.Value, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: record %d value: %w", i, err)
+			}
+		}
+		if flags&flagVal != 0 {
+			if rec.Value, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: record %d result value: %w", i, err)
+			}
+		}
+		if flags&flagTarg != 0 {
+			if rec.Targ, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: record %d target: %w", i, err)
+			}
+		}
+	}
+	return t, nil
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	bw.Write(buf[:n])
+	bw.WriteString(s)
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,24 @@
+package trace
+
+import "lvp/internal/isa"
+
+// Narrow conversion helpers used by the codec; kept in one place so the
+// decoder's byte→typed-enum conversions are explicit and bounds-checked.
+
+func isaOp(b byte) isa.Op {
+	if int(b) >= isa.NumOps {
+		return isa.NOP
+	}
+	return isa.Op(b)
+}
+
+func isaReg(b byte) isa.Reg {
+	return isa.Reg(b % isa.NumRegs)
+}
+
+func isaLoadClass(b byte) isa.LoadClass {
+	if isa.LoadClass(b) >= isa.NumLoadClasses {
+		return isa.LoadNone
+	}
+	return isa.LoadClass(b)
+}

@@ -1,0 +1,117 @@
+package vm
+
+import "encoding/binary"
+
+// pageBits selects a 4 KiB page size for the sparse memory map.
+const pageBits = 12
+const pageSize = 1 << pageBits
+const pageMask = pageSize - 1
+
+// Memory is a sparse, byte-addressed, little-endian memory. Pages are
+// allocated on first touch; reads of untouched memory return zero, matching
+// a zero-initialised process image.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+// LoadImage copies segment contents into memory.
+func (m *Memory) LoadImage(image map[uint64][]byte) {
+	for base, data := range image {
+		m.WriteBytes(base, data)
+	}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes fills buf from memory starting at addr.
+func (m *Memory) ReadBytes(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & pageMask
+		n := copy(buf, m.pageSlice(addr)[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+func (m *Memory) pageSlice(addr uint64) []byte {
+	if p := m.page(addr, false); p != nil {
+		return p[:]
+	}
+	return zeroPage[:]
+}
+
+var zeroPage [pageSize]byte
+
+// WriteBytes copies buf into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], buf)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read returns size bytes at addr zero-extended to 64 bits. size must be a
+// power of two in {1,2,4,8}; accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	if addr&pageMask <= pageSize-uint64(size) {
+		p := m.pageSlice(addr)
+		off := addr & pageMask
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write stores the low `size` bytes of v at addr.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	if addr&pageMask <= pageSize-uint64(size) {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.WriteBytes(addr, buf[:size])
+}
+
+// Pages reports the number of allocated pages (for footprint stats).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,319 @@
+package vm
+
+// Table-driven semantics tests: every ALU/FP opcode is executed by the VM
+// and compared against the corresponding Go computation.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lvp/internal/isa"
+	"lvp/internal/prog"
+)
+
+// runALU executes `op rd, ra, rb` with the given operand values and returns
+// the result register.
+func runALU(t *testing.T, op isa.Op, a, b uint64) uint64 {
+	t.Helper()
+	bld := prog.New("alu", prog.AXP)
+	bld.Label("main")
+	bld.Li(prog.T0, int64(a))
+	bld.Li(prog.T1, int64(b))
+	bld.Op3(op, prog.T2, prog.T0, prog.T1)
+	bld.Out(prog.T2)
+	bld.Ret()
+	p, err := bld.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Exec(p, 1000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Output[0]
+}
+
+func TestALUSemantics(t *testing.T) {
+	a, b := uint64(0xF00DFACE12345678), uint64(0x00000000DEADBEEF)
+	cases := []struct {
+		op   isa.Op
+		want uint64
+	}{
+		{isa.ADD, a + b},
+		{isa.SUB, a - b},
+		{isa.AND, a & b},
+		{isa.OR, a | b},
+		{isa.XOR, a ^ b},
+		{isa.SHL, a << (b & 63)},
+		{isa.SHR, a >> (b & 63)},
+		{isa.SRA, uint64(int64(a) >> (b & 63))},
+		{isa.MUL, a * b},
+		{isa.DIV, uint64(int64(a) / int64(b))},
+		{isa.REM, uint64(int64(a) % int64(b))},
+		{isa.SLT, 1}, // int64(a) < 0 < int64(b)
+		{isa.SLTU, 0},
+		{isa.SEQ, 0},
+		{isa.SNE, 1},
+	}
+	for _, c := range cases {
+		if got := runALU(t, c.op, a, b); got != c.want {
+			t.Errorf("%v(%#x,%#x) = %#x, want %#x", c.op, a, b, got, c.want)
+		}
+	}
+}
+
+func TestALUImmediates(t *testing.T) {
+	bld := prog.New("imm", prog.AXP)
+	bld.Label("main")
+	bld.Li(prog.T0, 100)
+	emit := func(op isa.Op, imm int64) {
+		bld.OpI(op, prog.T1, prog.T0, imm)
+		bld.Out(prog.T1)
+	}
+	emit(isa.ADDI, -3)   // 97
+	emit(isa.ANDI, 0x6C) // 100 & 0x6C = 0x64 & 0x6C = 100&108 = 96+4 = 100? compute below
+	emit(isa.ORI, 0x83)
+	emit(isa.XORI, 0xFF)
+	emit(isa.SHLI, 3)
+	emit(isa.SHRI, 2)
+	emit(isa.SRAI, 2)
+	emit(isa.SLTI, 101)
+	bld.Ret()
+	p, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{97, 100 & 0x6C, 100 | 0x83, 100 ^ 0xFF, 100 << 3, 100 >> 2,
+		uint64(int64(100) >> 2), 1}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Errorf("imm op %d = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestFPSemantics(t *testing.T) {
+	bld := prog.New("fp", prog.AXP)
+	bld.Label("main")
+	bld.LoadConstF(prog.FT0, 2.5)
+	bld.LoadConstF(prog.FT1, -1.25)
+	outF := func() {
+		bld.Emit(isa.Inst{Op: isa.MOVFI, Rd: prog.T0, Ra: prog.FT2})
+		bld.Out(prog.T0)
+	}
+	bld.Op3(isa.FADD, prog.FT2, prog.FT0, prog.FT1)
+	outF()
+	bld.Op3(isa.FSUB, prog.FT2, prog.FT0, prog.FT1)
+	outF()
+	bld.Op3(isa.FMUL, prog.FT2, prog.FT0, prog.FT1)
+	outF()
+	bld.Op3(isa.FDIV, prog.FT2, prog.FT0, prog.FT1)
+	outF()
+	bld.Emit(isa.Inst{Op: isa.FNEG, Rd: prog.FT2, Ra: prog.FT1})
+	outF()
+	bld.Emit(isa.Inst{Op: isa.FABS, Rd: prog.FT2, Ra: prog.FT1})
+	outF()
+	bld.Emit(isa.Inst{Op: isa.FSQRT, Rd: prog.FT2, Ra: prog.FT0})
+	outF()
+	bld.Emit(isa.Inst{Op: isa.FMOV, Rd: prog.FT2, Ra: prog.FT1})
+	outF()
+	// compares into GPRs
+	bld.Op3(isa.FEQ, prog.T1, prog.FT0, prog.FT0)
+	bld.Out(prog.T1)
+	bld.Op3(isa.FLT, prog.T1, prog.FT1, prog.FT0)
+	bld.Out(prog.T1)
+	bld.Op3(isa.FLE, prog.T1, prog.FT0, prog.FT1)
+	bld.Out(prog.T1)
+	bld.Ret()
+	p, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := []float64{2.5 + -1.25, 2.5 - -1.25, 2.5 * -1.25, 2.5 / -1.25,
+		1.25, 1.25, math.Sqrt(2.5), -1.25}
+	for i, w := range wantF {
+		if got := math.Float64frombits(res.Output[i]); got != w {
+			t.Errorf("fp op %d = %v, want %v", i, got, w)
+		}
+	}
+	wantB := []uint64{1, 1, 0}
+	for i, w := range wantB {
+		if res.Output[len(wantF)+i] != w {
+			t.Errorf("fp compare %d = %d, want %d", i, res.Output[len(wantF)+i], w)
+		}
+	}
+}
+
+func TestConversionsAndMoves(t *testing.T) {
+	bld := prog.New("cvt", prog.AXP)
+	bld.Label("main")
+	bld.Li(prog.T0, -7)
+	bld.Emit(isa.Inst{Op: isa.CVTIF, Rd: prog.FT0, Ra: prog.T0})
+	bld.Emit(isa.Inst{Op: isa.MOVFI, Rd: prog.T1, Ra: prog.FT0})
+	bld.Out(prog.T1) // bits of -7.0
+	bld.Emit(isa.Inst{Op: isa.CVTFI, Rd: prog.T2, Ra: prog.FT0})
+	bld.Out(prog.T2)                       // -7
+	bld.Li(prog.T3, 0x4009_21FB_5444_2D18) // pi bits
+	bld.Emit(isa.Inst{Op: isa.MOVIF, Rd: prog.FT1, Ra: prog.T3})
+	bld.Emit(isa.Inst{Op: isa.CVTFI, Rd: prog.T4, Ra: prog.FT1})
+	bld.Out(prog.T4) // 3 (truncating)
+	bld.Ret()
+	p, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(res.Output[0]); got != -7.0 {
+		t.Errorf("CVTIF(-7) = %v", got)
+	}
+	if int64(res.Output[1]) != -7 {
+		t.Errorf("CVTFI(-7.0) = %d", int64(res.Output[1]))
+	}
+	if res.Output[2] != 3 {
+		t.Errorf("CVTFI(pi) = %d, want 3", res.Output[2])
+	}
+}
+
+func TestHalfwordAndFloat32Memory(t *testing.T) {
+	bld := prog.New("mem2", prog.AXP)
+	bld.Label("main")
+	buf := bld.Zeros("buf", 32)
+	bld.Li(prog.T0, int64(buf))
+	bld.Li(prog.T1, -2)
+	bld.Store(isa.SH, prog.T1, prog.T0, 0)
+	bld.Load(isa.LHU, prog.T2, prog.T0, 0, isa.LoadIntData)
+	bld.Out(prog.T2) // 0xFFFE
+	bld.Load(isa.LH, prog.T3, prog.T0, 0, isa.LoadIntData)
+	bld.Out(prog.T3) // -2
+	// float32 round trip
+	bld.LoadConstF(prog.FT0, 1.5)
+	bld.Store(isa.FSW, prog.FT0, prog.T0, 8)
+	bld.Load(isa.FLW, prog.FT1, prog.T0, 8, isa.LoadFPData)
+	bld.Emit(isa.Inst{Op: isa.MOVFI, Rd: prog.T4, Ra: prog.FT1})
+	bld.Out(prog.T4)
+	bld.Ret()
+	p, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 0xFFFE {
+		t.Errorf("LHU = %#x", res.Output[0])
+	}
+	if int64(res.Output[1]) != -2 {
+		t.Errorf("LH = %d", int64(res.Output[1]))
+	}
+	if got := math.Float64frombits(res.Output[2]); got != 1.5 {
+		t.Errorf("FLW/FSW round trip = %v, want 1.5", got)
+	}
+}
+
+func TestDivRemEdgeCases(t *testing.T) {
+	minI := uint64(1) << 63 // MinInt64 bit pattern
+	if got := runALU(t, isa.DIV, minI, ^uint64(0)); got != minI {
+		t.Errorf("MinInt64 / -1 = %#x, want MinInt64 (no trap)", got)
+	}
+	if got := runALU(t, isa.REM, minI, ^uint64(0)); got != 0 {
+		t.Errorf("MinInt64 %% -1 = %#x, want 0", got)
+	}
+	if got := runALU(t, isa.REM, 42, 0); got != 0 {
+		t.Errorf("42 %% 0 = %#x, want 0", got)
+	}
+}
+
+func TestBranchConditionMatrix(t *testing.T) {
+	type c struct {
+		op   isa.Op
+		a, b int64
+		want bool
+	}
+	cases := []c{
+		{isa.BEQ, 5, 5, true}, {isa.BEQ, 5, 6, false},
+		{isa.BNE, 5, 6, true}, {isa.BNE, 5, 5, false},
+		{isa.BLT, -1, 0, true}, {isa.BLT, 0, -1, false},
+		{isa.BGE, 0, -1, true}, {isa.BGE, -1, 0, false},
+		{isa.BLTU, 1, 2, true}, {isa.BLTU, ^int64(0), 2, false}, // unsigned max !< 2
+		{isa.BGEU, ^int64(0), 2, true}, {isa.BGEU, 1, 2, false},
+	}
+	for _, tc := range cases {
+		bld := prog.New("br", prog.AXP)
+		bld.Label("main")
+		bld.Li(prog.T0, tc.a)
+		bld.Li(prog.T1, tc.b)
+		taken := bld.NewLabel("taken")
+		bld.Branch(tc.op, prog.T0, prog.T1, taken)
+		bld.Li(prog.T2, 0)
+		bld.Out(prog.T2)
+		bld.Ret()
+		bld.Label(taken)
+		bld.Li(prog.T2, 1)
+		bld.Out(prog.T2)
+		bld.Ret()
+		p, err := bld.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Exec(p, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if tc.want {
+			want = 1
+		}
+		if res.Output[0] != want {
+			t.Errorf("%v(%d,%d) taken = %d, want %d", tc.op, tc.a, tc.b, res.Output[0], want)
+		}
+	}
+}
+
+func TestMemoryReadWriteProperty(t *testing.T) {
+	// Property: Write then Read round-trips the low `size` bytes at any
+	// address, including page-straddling ones.
+	f := func(addr uint64, v uint64, szSel uint8) bool {
+		addr &= 0xFFFFFF // keep the page map small
+		size := []int{1, 2, 4, 8}[szSel%4]
+		m := NewMemory()
+		m.Write(addr, size, v)
+		want := v
+		if size < 8 {
+			want &= (1 << (8 * size)) - 1
+		}
+		return m.Read(addr, size) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryDisjointWritesProperty(t *testing.T) {
+	// Property: a write to one location never disturbs a disjoint one.
+	f := func(a, b uint32, va, vb uint64) bool {
+		addrA, addrB := uint64(a)&0xFFFFF, uint64(b)&0xFFFFF
+		if addrA+8 > addrB && addrB+8 > addrA {
+			return true // overlapping: skip
+		}
+		m := NewMemory()
+		m.Write(addrA, 8, va)
+		m.Write(addrB, 8, vb)
+		return m.Read(addrA, 8) == va && m.Read(addrB, 8) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
