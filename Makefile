@@ -1,0 +1,46 @@
+# Development targets for the lvp repository.
+#
+# `make check` is the tier-1 gate (build + tests). `make race` runs the
+# race detector over the fast tests; `make race-full` includes the golden
+# serial-vs-parallel render, which is expensive under the detector.
+
+GO ?= go
+
+.PHONY: all build check test race race-full fuzz bench verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: build test
+
+# Race-detector pass over every package. -short skips the golden
+# double-render (TestGoldenSerialVsParallel), which the detector slows by an
+# order of magnitude; all concurrency unit tests (internal/par, the suite
+# cache paths, the cheap golden repeat) still run under the detector.
+race:
+	$(GO) test -race -short ./...
+
+# Full race pass including the golden serial-vs-parallel gate (narrowed to
+# a representative experiment subset under the detector — see
+# internal/exp/golden_test.go). The timeout margin covers small machines.
+race-full:
+	$(GO) test -race -timeout 30m ./...
+
+# Short fuzz session over the trace codec round-trip property.
+fuzz:
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace/
+
+# Experiment-engine benchmarks: compare ExpAllSerial vs ExpAllParallel for
+# the worker-pool speedup.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkExpAll' -benchtime 2x .
+
+verify: check race
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@ package lvp_test
 // harness. Micro-benchmarks for the hot components follow.
 
 import (
+	"io"
 	"testing"
 
 	"lvp"
@@ -14,6 +15,44 @@ import (
 	core "lvp/internal/lvp"
 	"lvp/internal/ppc620"
 )
+
+// --- experiment-engine benchmarks: serial vs parallel ---
+
+// runAllExperiments regenerates every registered experiment on a fresh
+// suite with the given worker count, discarding the rendered output. Each
+// iteration starts from cold caches, so the measurement covers the full
+// fan-out: trace generation, annotation, simulation and merge.
+func runAllExperiments(b *testing.B, workers int) {
+	b.Helper()
+	for b.Loop() {
+		s := exp.NewSuiteParallel(1, workers)
+		for _, e := range exp.Experiments() {
+			if err := e.Run(s, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExpAllSerial is the baseline: the whole `-exp all` run with a
+// single worker.
+func BenchmarkExpAllSerial(b *testing.B) {
+	runAllExperiments(b, 1)
+}
+
+// BenchmarkExpAllParallel is the same run on a GOMAXPROCS-sized pool.
+// Compare with BenchmarkExpAllSerial (benchstat or the raw ns/op) to see
+// the engine's speedup; on a multi-core machine the ratio tracks core
+// count until the longest single simulation dominates.
+func BenchmarkExpAllParallel(b *testing.B) {
+	runAllExperiments(b, 0)
+}
+
+// BenchmarkExpAllParallel4 pins four workers for cross-machine
+// comparability of the headline speedup figure.
+func BenchmarkExpAllParallel4(b *testing.B) {
+	runAllExperiments(b, 4)
+}
 
 func BenchmarkTable1(b *testing.B) {
 	for b.Loop() {

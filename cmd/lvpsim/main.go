@@ -4,14 +4,18 @@
 // Usage:
 //
 //	lvpsim -exp all            # every table and figure
+//	lvpsim -exp all -parallel 8  # same output, 8 experiment workers
 //	lvpsim -exp fig6 -scale 2  # one experiment at double run length
 //	lvpsim -list               # list experiment names
+//
+// Experiment cells (benchmark × target × config × machine) run on a bounded
+// worker pool; results are merged deterministically, so the output is
+// byte-identical for every -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,206 +24,14 @@ import (
 	"lvp/internal/report"
 )
 
-type experiment struct {
-	name string
-	desc string
-	run  func(s *exp.Suite, w io.Writer) error
-}
-
-var experiments = []experiment{
-	{"table1", "benchmark descriptions and dynamic counts", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Table1()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"fig1", "load value locality, depth 1 and 16, both targets", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure1()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"fig2", "PowerPC value locality by data type", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure2()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"table2", "LVP unit configurations", func(s *exp.Suite, w io.Writer) error {
-		exp.Table2(w)
-		return nil
-	}},
-	{"table3", "LCT hit rates", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Table3()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"table4", "constant identification rates", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Table4()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"table5", "instruction latencies", func(s *exp.Suite, w io.Writer) error {
-		exp.Table5(w)
-		return nil
-	}},
-	{"fig6", "base machine model speedups", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure6()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"table6", "PowerPC 620+ speedups", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Table6()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"fig7", "load verification latency distribution", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure7()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"fig8", "dependency resolution latencies by FU", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure8()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"fig9", "L1 bank conflict rates", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Figure9()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"lvptsweep", "ablation: LVPT size vs coverage", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.LVPTSweep(nil)
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"lctsweep", "ablation: LCT counter width", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.LCTBitsSweep(nil)
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"cvusweep", "ablation: CVU capacity", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.CVUSweep(nil)
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"predictors", "extension: stride/context predictors (paper §7)", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.PredictorStudy()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"gvl", "extension: general value locality, all results (paper §7)", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.GeneralValueLocality()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"pathlvp", "extension: branch-history-indexed LVPT (paper §7)", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.PathLVPStudy(nil)
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"mafablation", "ablation: 21164 blocking vs non-blocking misses", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.MAFAblation()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"limits", "limit study: dataflow critical-path speedups", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.DataflowLimits()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"machines", "diagnostics: baseline machine behaviour", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Machines()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"resourcesweep", "ablation: which 620 resource binds", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.ResourceSweep()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"gvp", "extension: general value prediction on the 620 (paper §7)", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.GVPStudy()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-	{"stalls", "diagnostics: 620 dispatch-stall breakdown", func(s *exp.Suite, w io.Writer) error {
-		r, err := s.Stalls()
-		if err != nil {
-			return err
-		}
-		r.Render(w)
-		return nil
-	}},
-}
-
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
-		scale   = flag.Int("scale", 1, "benchmark run-length multiplier")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		timing  = flag.Bool("time", false, "print wall time per experiment")
-		format  = flag.String("format", "text", "output format: text or csv")
+		expFlag  = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
+		scale    = flag.Int("scale", 1, "benchmark run-length multiplier")
+		parallel = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		timing   = flag.Bool("time", false, "print wall time per experiment")
+		format   = flag.String("format", "text", "output format: text or csv")
 	)
 	flag.Parse()
 	switch *format {
@@ -231,9 +43,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	experiments := exp.Experiments()
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("%-11s %s\n", e.name, e.desc)
+			fmt.Printf("%-11s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -242,19 +55,12 @@ func main() {
 	switch *expFlag {
 	case "all":
 		for _, e := range experiments {
-			want[e.name] = true
+			want[e.Name] = true
 		}
 	case "paper":
 		for _, e := range experiments {
-			switch {
-			case strings.Contains(e.name, "sweep"),
-				strings.Contains(e.name, "ablation"),
-				e.name == "predictors", e.name == "gvl", e.name == "pathlvp",
-				e.name == "limits", e.name == "machines", e.name == "gvp",
-				e.name == "stalls":
-				// extensions: only under -exp all
-			default:
-				want[e.name] = true
+			if e.Paper {
+				want[e.Name] = true
 			}
 		}
 	default:
@@ -263,22 +69,22 @@ func main() {
 		}
 	}
 
-	s := exp.NewSuite(*scale)
+	s := exp.NewSuiteParallel(*scale, *parallel)
 	ran := 0
 	for _, e := range experiments {
-		if !want[e.name] {
+		if !want[e.Name] {
 			continue
 		}
 		start := time.Now()
-		if err := e.run(s, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.name, err)
+		if err := e.Run(s, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s: %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s: %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 		ran++
-		delete(want, e.name)
+		delete(want, e.Name)
 	}
 	for name := range want {
 		fmt.Fprintf(os.Stderr, "lvpsim: unknown experiment %q (use -list)\n", name)

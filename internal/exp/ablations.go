@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/locality"
@@ -36,16 +35,15 @@ func (s *Suite) LVPTSweep(sizes []int) (*LVPTSweepResult, error) {
 		cfg := lvp.Simple
 		cfg.Name = fmt.Sprintf("Simple/%d", size)
 		cfg.LVPTEntries = size
-		var mu sync.Mutex
-		var covs []float64
-		err := s.forEachBench(func(b bench.Benchmark) error {
+		// Per-benchmark slots keep the GeoMean reduction order (and thus
+		// its floating-point rounding) independent of completion order.
+		covs := make([]float64, len(bench.All()))
+		err := s.forEachBenchIdx(func(bi int, b bench.Benchmark) error {
 			st, err := s.AnnotationStats(b.Name, prog.PPC, cfg)
 			if err != nil {
 				return err
 			}
-			mu.Lock()
-			covs = append(covs, st.Coverage())
-			mu.Unlock()
+			covs[bi] = st.Coverage()
 			return nil
 		})
 		if err != nil {
@@ -86,17 +84,15 @@ func (s *Suite) LCTBitsSweep(bits []int) (*LCTBitsResult, error) {
 		cfg := lvp.Simple
 		cfg.Name = fmt.Sprintf("Simple/lct%d", b)
 		cfg.LCTBits = b
-		var mu sync.Mutex
-		var accs, covs []float64
-		err := s.forEachBench(func(bm bench.Benchmark) error {
+		n := len(bench.All())
+		accs, covs := make([]float64, n), make([]float64, n)
+		err := s.forEachBenchIdx(func(bi int, bm bench.Benchmark) error {
 			st, err := s.AnnotationStats(bm.Name, prog.PPC, cfg)
 			if err != nil {
 				return err
 			}
-			mu.Lock()
-			accs = append(accs, st.Accuracy())
-			covs = append(covs, st.Coverage())
-			mu.Unlock()
+			accs[bi] = st.Accuracy()
+			covs[bi] = st.Coverage()
 			return nil
 		})
 		if err != nil {
@@ -136,16 +132,13 @@ func (s *Suite) CVUSweep(sizes []int) (*CVUSweepResult, error) {
 		cfg := lvp.Constant
 		cfg.Name = fmt.Sprintf("Constant/cvu%d", size)
 		cfg.CVUEntries = size
-		var mu sync.Mutex
-		var rates []float64
-		err := s.forEachBench(func(b bench.Benchmark) error {
+		rates := make([]float64, len(bench.All()))
+		err := s.forEachBenchIdx(func(bi int, b bench.Benchmark) error {
 			st, err := s.AnnotationStats(b.Name, prog.PPC, cfg)
 			if err != nil {
 				return err
 			}
-			mu.Lock()
-			rates = append(rates, st.ConstantRate())
-			mu.Unlock()
+			rates[bi] = st.ConstantRate()
 			return nil
 		})
 		if err != nil {
@@ -190,9 +183,7 @@ type PredictorResult struct {
 // prediction accuracy over the suite (PPC target, 1K-entry tables).
 func (s *Suite) PredictorStudy() (*PredictorResult, error) {
 	res := &PredictorResult{Rows: make([]PredictorRow, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.PPC)
 		if err != nil {
 			return err
@@ -202,8 +193,7 @@ func (s *Suite) PredictorStudy() (*PredictorResult, error) {
 		st := lvp.MeasureAccuracy(t, lvp.NewStride(1024))
 		cx := lvp.MeasureAccuracy(t, lvp.NewContext(1024, 4096))
 		loc := locality.Measure(t, 1024, 1)
-		mu.Lock()
-		res.Rows[idx[b.Name]] = PredictorRow{
+		res.Rows[i] = PredictorRow{
 			Name:      b.Name,
 			LastValue: lv.Percent(),
 			TwoValue:  tv.Percent(),
@@ -211,7 +201,6 @@ func (s *Suite) PredictorStudy() (*PredictorResult, error) {
 			Context:   cx.Percent(),
 			Locality1: loc[0].Overall.Percent(),
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {

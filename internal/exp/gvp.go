@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
@@ -35,9 +34,7 @@ type GVPResult struct {
 // GVPStudy runs the 620 with load-only and general value prediction.
 func (s *Suite) GVPStudy() (*GVPResult, error) {
 	res := &GVPResult{Rows: make([]GVPRow, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.PPC)
 		if err != nil {
 			return err
@@ -60,14 +57,12 @@ func (s *Suite) GVPStudy() (*GVPResult, error) {
 			return err
 		}
 		gvpPerfect := ppc620.Simulate(t, perfAnn, ppc620.Config620(), "GVP-Perfect")
-		mu.Lock()
-		res.Rows[idx[b.Name]] = GVPRow{
+		res.Rows[i] = GVPRow{
 			Name:       b.Name,
 			LVPSimple:  float64(base.Cycles) / float64(lvpSimple.Cycles),
 			GVPSimple:  float64(base.Cycles) / float64(gvpSimple.Cycles),
 			GVPPerfect: float64(base.Cycles) / float64(gvpPerfect.Cycles),
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {

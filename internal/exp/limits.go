@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/dfg"
@@ -36,10 +35,8 @@ type LimitResult struct {
 // of the paper's "collapsing true dependencies" claim.
 func (s *Suite) DataflowLimits() (*LimitResult, error) {
 	res := &LimitResult{Rows: make([]LimitRow, len(bench.All()))}
-	idx := indexOf()
 	lat := dfg.Default620()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.PPC)
 		if err != nil {
 			return err
@@ -55,14 +52,12 @@ func (s *Suite) DataflowLimits() (*LimitResult, error) {
 		base := dfg.Analyze(t, nil, lat)
 		simple := dfg.Analyze(t, annS, lat)
 		perfect := dfg.Analyze(t, annP, lat)
-		mu.Lock()
-		res.Rows[idx[b.Name]] = LimitRow{
+		res.Rows[i] = LimitRow{
 			Name:           b.Name,
 			BaseIPC:        base.LimitIPC(),
 			SimpleSpeedup:  float64(base.CriticalPath) / float64(max(1, simple.CriticalPath)),
 			PerfectSpeedup: float64(base.CriticalPath) / float64(max(1, perfect.CriticalPath)),
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -112,9 +107,7 @@ type MachinesResult struct {
 // Machines collects baseline (no-LVP) machine diagnostics per benchmark.
 func (s *Suite) Machines() (*MachinesResult, error) {
 	res := &MachinesResult{Rows: make([]MachineRow, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		s620, err := s.Sim620(b.Name, false, nil)
 		if err != nil {
 			return err
@@ -127,8 +120,7 @@ func (s *Suite) Machines() (*MachinesResult, error) {
 		if err != nil {
 			return err
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = MachineRow{
+		res.Rows[i] = MachineRow{
 			Name:         b.Name,
 			IPC620:       s620.IPC(),
 			IPC620Plus:   sPlus.IPC(),
@@ -138,7 +130,6 @@ func (s *Suite) Machines() (*MachinesResult, error) {
 			BranchAcc620: s620.Branch.CondAccuracy(),
 			Alias620:     s620.AliasRefetches,
 		}
-		mu.Unlock()
 		return nil
 	})
 	return res, err

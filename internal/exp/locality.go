@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/isa"
@@ -32,9 +31,7 @@ type Table1Result struct {
 // Table1 reproduces paper Table 1 (with our scaled-down run lengths).
 func (s *Suite) Table1() (*Table1Result, error) {
 	res := &Table1Result{Rows: make([]Table1Row, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		ta, err := s.Trace(b.Name, prog.AXP)
 		if err != nil {
 			return err
@@ -44,13 +41,11 @@ func (s *Suite) Table1() (*Table1Result, error) {
 			return err
 		}
 		sa, sp := ta.Summarize(), tp.Summarize()
-		mu.Lock()
-		res.Rows[idx[b.Name]] = Table1Row{
+		res.Rows[i] = Table1Row{
 			Name: b.Name, Description: b.Description, Input: b.Input,
 			AXPInstr: sa.Instructions, AXPLoads: sa.Loads,
 			PPCInstr: sp.Instructions, PPCLoads: sp.Loads,
 		}
-		mu.Unlock()
 		return nil
 	})
 	return res, err
@@ -87,9 +82,7 @@ type Fig1Result struct {
 // history depth 1 (light bars) and 16 (dark bars), one panel per target.
 func (s *Suite) Figure1() (*Fig1Result, error) {
 	res := &Fig1Result{Rows: make([]Fig1Row, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		row := Fig1Row{Name: b.Name}
 		for _, tg := range prog.Targets {
 			t, err := s.Trace(b.Name, tg)
@@ -103,9 +96,7 @@ func (s *Suite) Figure1() (*Fig1Result, error) {
 				row.PPCD1, row.PPCD16 = rs[0].Overall.Percent(), rs[1].Overall.Percent()
 			}
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = row
-		mu.Unlock()
+		res.Rows[i] = row
 		return nil
 	})
 	return res, err
@@ -155,9 +146,7 @@ type Fig2Result struct {
 // Figure2 reproduces paper Figure 2: PowerPC value locality by data type.
 func (s *Suite) Figure2() (*Fig2Result, error) {
 	res := &Fig2Result{Rows: make([]Fig2Row, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.PPC)
 		if err != nil {
 			return err
@@ -172,9 +161,7 @@ func (s *Suite) Figure2() (*Fig2Result, error) {
 				row.Share[c] = float64(rs[0].ByClass[c].Total) / float64(total)
 			}
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = row
-		mu.Unlock()
+		res.Rows[i] = row
 		return nil
 	})
 	return res, err
@@ -197,13 +184,4 @@ func (r *Fig2Result) Render(w io.Writer) {
 			f(row.Pct[isa.LoadDataAddr][0]), f(row.Pct[isa.LoadDataAddr][1]))
 	}
 	t.Render(w)
-}
-
-// indexOf maps benchmark names to their reporting order.
-func indexOf() map[string]int {
-	m := make(map[string]int)
-	for i, n := range bench.Names() {
-		m[n] = i
-	}
-	return m
 }

@@ -38,9 +38,7 @@ type Fig6Result struct {
 // Figure6 reproduces paper Figure 6: base machine model speedups.
 func (s *Suite) Figure6() (*Fig6Result, error) {
 	res := &Fig6Result{Rows: make([]Fig6Row, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		row := Fig6Row{Name: b.Name}
 		base620, err := s.Sim620(b.Name, false, nil)
 		if err != nil {
@@ -64,9 +62,7 @@ func (s *Suite) Figure6() (*Fig6Result, error) {
 			}
 			row.AXP[i] = float64(base164.Cycles) / float64(st.Cycles)
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = row
-		mu.Unlock()
+		res.Rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -137,9 +133,7 @@ type Table6Result struct {
 // Table6 reproduces paper Table 6: PowerPC 620+ speedups.
 func (s *Suite) Table6() (*Table6Result, error) {
 	res := &Table6Result{Rows: make([]Table6Row, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		base620, err := s.Sim620(b.Name, false, nil)
 		if err != nil {
 			return err
@@ -160,9 +154,7 @@ func (s *Suite) Table6() (*Table6Result, error) {
 			}
 			row.LVP[i] = float64(basePlus.Cycles) / float64(st.Cycles)
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = row
-		mu.Unlock()
+		res.Rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -213,6 +205,9 @@ type Fig7Result struct {
 // Figure7 reproduces paper Figure 7.
 func (s *Suite) Figure7() (*Fig7Result, error) {
 	res := &Fig7Result{}
+	// Integer accumulation is commutative, so the merge stays
+	// deterministic under any completion order; the mutex only guards the
+	// concurrent read-modify-writes.
 	var mu sync.Mutex
 	var totals [2][4][6]int
 	err := s.forEachBench(func(b bench.Benchmark) error {
@@ -281,6 +276,7 @@ type Fig8Result struct {
 // Figure8 reproduces paper Figure 8.
 func (s *Suite) Figure8() (*Fig8Result, error) {
 	res := &Fig8Result{}
+	// Commutative integer sums; see Figure7 for the determinism argument.
 	var mu sync.Mutex
 	var waitSum [2][5][ppc620.NumFU]int64 // config index 4 = baseline
 	var waitN [2][5][ppc620.NumFU]int64
@@ -366,10 +362,8 @@ type Fig9Result struct {
 // Figure9 reproduces paper Figure 9.
 func (s *Suite) Figure9() (*Fig9Result, error) {
 	res := &Fig9Result{Rows: make([]Fig9Row, len(bench.All()))}
-	idx := indexOf()
 	cfgs := []*lvp.Config{nil, &lvp.Simple, &lvp.Constant}
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		row := Fig9Row{Name: b.Name}
 		for mi, plus := range []bool{false, true} {
 			for ci, cfg := range cfgs {
@@ -380,9 +374,7 @@ func (s *Suite) Figure9() (*Fig9Result, error) {
 				row.Rate[mi][ci] = 100 * st.BankConflictRate()
 			}
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = row
-		mu.Unlock()
+		res.Rows[i] = row
 		return nil
 	})
 	if err != nil {

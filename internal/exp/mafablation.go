@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/axp21164"
 	"lvp/internal/bench"
@@ -37,9 +36,7 @@ type MAFResult struct {
 // reported gain that choice contributes.
 func (s *Suite) MAFAblation() (*MAFResult, error) {
 	res := &MAFResult{Rows: make([]MAFRow, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.AXP)
 		if err != nil {
 			return err
@@ -57,15 +54,13 @@ func (s *Suite) MAFAblation() (*MAFResult, error) {
 		bLVP := axp21164.Simulate(t, ann, blocking, "Simple")
 		nBase := axp21164.Simulate(t, nil, nonblocking, "")
 		nLVP := axp21164.Simulate(t, ann, nonblocking, "Simple")
-		mu.Lock()
-		res.Rows[idx[b.Name]] = MAFRow{
+		res.Rows[i] = MAFRow{
 			Name:               b.Name,
 			BlockingIPC:        bBase.IPC(),
 			NonBlockingIPC:     nBase.IPC(),
 			SpeedupBlocking:    float64(bBase.Cycles) / float64(bLVP.Cycles),
 			SpeedupNonBlocking: float64(nBase.Cycles) / float64(nLVP.Cycles),
 		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled narrows the golden gate's experiment set under the race
+// detector; see goldenExperiments in golden_test.go.
+const raceEnabled = true

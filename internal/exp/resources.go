@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/ppc620"
@@ -62,8 +61,10 @@ func (s *Suite) ResourceSweep() (*ResourceResult, error) {
 	variants := resourceVariants()
 	res := &ResourceResult{Rows: make([]ResourceRow, len(variants))}
 	speedups := make([][]float64, len(variants))
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	for vi := range speedups {
+		speedups[vi] = make([]float64, len(bench.All()))
+	}
+	err := s.forEachBenchIdx(func(bi int, b bench.Benchmark) error {
 		t, err := s.Trace(b.Name, prog.PPC)
 		if err != nil {
 			return err
@@ -76,9 +77,7 @@ func (s *Suite) ResourceSweep() (*ResourceResult, error) {
 			if vi == 0 {
 				base = st.Cycles
 			}
-			mu.Lock()
-			speedups[vi] = append(speedups[vi], float64(base)/float64(st.Cycles))
-			mu.Unlock()
+			speedups[vi][bi] = float64(base) / float64(st.Cycles)
 		}
 		return nil
 	})

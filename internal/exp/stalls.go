@@ -2,7 +2,6 @@ package exp
 
 import (
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/report"
@@ -29,9 +28,7 @@ type StallResult struct {
 // the companion diagnostic to the resource sweep.
 func (s *Suite) Stalls() (*StallResult, error) {
 	res := &StallResult{Rows: make([]StallRow, len(bench.All()))}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		st, err := s.Sim620(b.Name, false, nil)
 		if err != nil {
 			return err
@@ -41,8 +38,7 @@ func (s *Suite) Stalls() (*StallResult, error) {
 		for _, v := range st.StallRS {
 			rs += v
 		}
-		mu.Lock()
-		res.Rows[idx[b.Name]] = StallRow{
+		res.Rows[i] = StallRow{
 			Name:       b.Name,
 			RS:         float64(rs) / cyc,
 			Rename:     float64(st.StallRename) / cyc,
@@ -50,7 +46,6 @@ func (s *Suite) Stalls() (*StallResult, error) {
 			MemSlots:   float64(st.StallMemSlots) / cyc,
 			FetchEmpty: float64(st.StallFetchEmpty) / cyc,
 		}
-		mu.Unlock()
 		return nil
 	})
 	return res, err

@@ -5,21 +5,72 @@
 // Machine/trace pairing follows the paper's methodology (§5): the PowerPC
 // 620 and 620+ models consume PPC-target traces (the AIX/xlc side), the
 // Alpha 21164 model consumes AXP-target traces (the OSF side).
+//
+// The evaluation is a wide fan-out — 17 benchmarks × 2 targets × 4 LVP
+// configs × 3 machine models — so every driver submits its per-benchmark
+// cells to a bounded worker pool (internal/par) instead of looping inline.
+// Three invariants keep the parallel run byte-identical to the serial one:
+//
+//  1. traces, annotations and simulations live in single-flight caches, so
+//     each is built exactly once no matter how many cells request it
+//     concurrently;
+//  2. drivers merge results into pre-sized, index-addressed slots (or
+//     commutative integer accumulators), never by append-in-completion
+//     order;
+//  3. cross-benchmark reductions (means, geometric means) always run over
+//     those slots in reporting order.
 package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"lvp/internal/axp21164"
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
+	"lvp/internal/par"
 	"lvp/internal/ppc620"
 	"lvp/internal/prog"
 	"lvp/internal/trace"
 	"lvp/internal/vm"
 )
+
+// Cache keys. Scale is part of the trace key (per the engine contract:
+// traces are memoized by benchmark, target, scale) even though it is
+// currently fixed per Suite, so a future multi-scale suite cannot alias.
+type traceKey struct {
+	name   string
+	target string
+	scale  int
+}
+
+// annKey memoizes annotations by the full Config value, not just its name,
+// so two ad-hoc configs that share a name can never collide.
+type annKey struct {
+	name   string
+	target string
+	scale  int
+	cfg    lvp.Config
+}
+
+type sim620Key struct {
+	name  string
+	plus  bool
+	cfg   lvp.Config
+	noLVP bool
+}
+
+type sim164Key struct {
+	name  string
+	cfg   lvp.Config
+	noLVP bool
+}
+
+// annotated pairs an annotation with the unit stats produced alongside it,
+// so one cached build serves both Annotation and AnnotationStats callers.
+type annotated struct {
+	ann trace.Annotation
+	st  lvp.Stats
+}
 
 // Suite generates and caches everything the experiments need.
 type Suite struct {
@@ -27,191 +78,155 @@ type Suite struct {
 	Scale int
 	// MaxSteps bounds functional execution per benchmark.
 	MaxSteps int
+	// Workers bounds the experiment fan-out; <= 0 selects the
+	// GOMAXPROCS-derived default. 1 runs serially. Output is
+	// byte-identical for every value.
+	Workers int
 
-	mu     sync.Mutex
-	traces map[string]*trace.Trace
-	anns   map[string]trace.Annotation
-	s620   map[string]ppc620.Stats
-	s164   map[string]axp21164.Stats
+	traces par.Cache[traceKey, *trace.Trace]
+	anns   par.Cache[annKey, annotated]
+	s620   par.Cache[sim620Key, ppc620.Stats]
+	s164   par.Cache[sim164Key, axp21164.Stats]
 }
 
-// NewSuite returns a Suite at the given scale (values below 1 are clamped).
+// NewSuite returns a Suite at the given scale (values below 1 are clamped)
+// with the default worker-pool size.
 func NewSuite(scale int) *Suite {
+	return NewSuiteParallel(scale, 0)
+}
+
+// NewSuiteParallel returns a Suite at the given scale running its
+// experiment fan-out on a bounded pool of `workers` goroutines (<= 0
+// selects the GOMAXPROCS default, 1 is serial).
+func NewSuiteParallel(scale, workers int) *Suite {
 	if scale < 1 {
 		scale = 1
 	}
 	return &Suite{
 		Scale:    scale,
 		MaxSteps: 200_000_000,
-		traces:   make(map[string]*trace.Trace),
-		anns:     make(map[string]trace.Annotation),
-		s620:     make(map[string]ppc620.Stats),
-		s164:     make(map[string]axp21164.Stats),
+		Workers:  workers,
 	}
+}
+
+// workers resolves the effective pool size.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return par.DefaultWorkers()
 }
 
 // Trace builds (or returns the cached) trace for one benchmark and target.
+// Concurrent callers for the same trace share a single build.
 func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
-	key := name + "/" + target.Name
-	s.mu.Lock()
-	if t, ok := s.traces[key]; ok {
-		s.mu.Unlock()
+	return s.traces.Get(traceKey{name, target.Name, s.Scale}, func() (*trace.Trace, error) {
+		bm, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := bm.Build(target, s.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("exp: building %s/%s: %w", name, target.Name, err)
+		}
+		t, _, err := vm.Run(p, s.MaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("exp: running %s/%s: %w", name, target.Name, err)
+		}
 		return t, nil
-	}
-	s.mu.Unlock()
-
-	bm, err := bench.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := bm.Build(target, s.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("exp: building %s/%s: %w", name, target.Name, err)
-	}
-	t, _, err := vm.Run(p, s.MaxSteps)
-	if err != nil {
-		return nil, fmt.Errorf("exp: running %s/%s: %w", name, target.Name, err)
-	}
-	s.mu.Lock()
-	s.traces[key] = t
-	s.mu.Unlock()
-	return t, nil
+	})
 }
 
 // Annotation returns the cached LVP annotation and unit stats for one
-// benchmark/target/config.
+// benchmark/target/config. The LVP Unit runs exactly once per key across
+// all concurrent consumers.
 func (s *Suite) Annotation(name string, target prog.Target, cfg lvp.Config) (trace.Annotation, lvp.Stats, error) {
-	t, err := s.Trace(name, target)
-	if err != nil {
-		return nil, lvp.Stats{}, err
-	}
-	key := name + "/" + target.Name + "/" + cfg.Name
-	s.mu.Lock()
-	if a, ok := s.anns[key]; ok {
-		s.mu.Unlock()
-		// Stats are cheap to recompute but we cache only the
-		// annotation; recompute stats when explicitly needed via
-		// AnnotationStats.
-		return a, lvp.Stats{}, nil
-	}
-	s.mu.Unlock()
-	a, st, err := lvp.Annotate(t, cfg)
-	if err != nil {
-		return nil, lvp.Stats{}, err
-	}
-	s.mu.Lock()
-	s.anns[key] = a
-	s.mu.Unlock()
-	return a, st, nil
+	r, err := s.anns.Get(annKey{name, target.Name, s.Scale, cfg}, func() (annotated, error) {
+		t, err := s.Trace(name, target)
+		if err != nil {
+			return annotated{}, err
+		}
+		a, st, err := lvp.Annotate(t, cfg)
+		return annotated{a, st}, err
+	})
+	return r.ann, r.st, err
 }
 
-// AnnotationStats runs the LVP unit over the trace and returns its stats
-// (uncached; used by the Table 3/4 drivers that need the unit counters).
+// AnnotationStats returns the LVP Unit counters for one
+// benchmark/target/config (Tables 3 and 4). It shares the Annotation cache,
+// so the unit never re-runs for stats that were already produced.
 func (s *Suite) AnnotationStats(name string, target prog.Target, cfg lvp.Config) (lvp.Stats, error) {
-	t, err := s.Trace(name, target)
-	if err != nil {
-		return lvp.Stats{}, err
-	}
-	_, st, err := lvp.Annotate(t, cfg)
+	_, st, err := s.Annotation(name, target, cfg)
 	return st, err
 }
 
 // Sim620 simulates one benchmark on the 620 (plus=false) or 620+ with the
 // given LVP config; cfg == nil means no LVP hardware.
 func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, error) {
-	machine := "620"
-	if plus {
-		machine = "620+"
-	}
-	cfgName := "none"
+	key := sim620Key{name: name, plus: plus, noLVP: cfg == nil}
 	if cfg != nil {
-		cfgName = cfg.Name
+		key.cfg = *cfg
 	}
-	key := name + "/" + machine + "/" + cfgName
-	s.mu.Lock()
-	if st, ok := s.s620[key]; ok {
-		s.mu.Unlock()
-		return st, nil
-	}
-	s.mu.Unlock()
-
-	t, err := s.Trace(name, prog.PPC)
-	if err != nil {
-		return ppc620.Stats{}, err
-	}
-	var ann trace.Annotation
-	if cfg != nil {
-		ann, _, err = s.Annotation(name, prog.PPC, *cfg)
+	return s.s620.Get(key, func() (ppc620.Stats, error) {
+		t, err := s.Trace(name, prog.PPC)
 		if err != nil {
 			return ppc620.Stats{}, err
 		}
-	}
-	mc := ppc620.Config620()
-	if plus {
-		mc = ppc620.Config620Plus()
-	}
-	st := ppc620.Simulate(t, ann, mc, cfgName)
-	s.mu.Lock()
-	s.s620[key] = st
-	s.mu.Unlock()
-	return st, nil
+		var ann trace.Annotation
+		cfgName := "none"
+		if cfg != nil {
+			cfgName = cfg.Name
+			ann, _, err = s.Annotation(name, prog.PPC, *cfg)
+			if err != nil {
+				return ppc620.Stats{}, err
+			}
+		}
+		mc := ppc620.Config620()
+		if plus {
+			mc = ppc620.Config620Plus()
+		}
+		return ppc620.Simulate(t, ann, mc, cfgName), nil
+	})
 }
 
 // Sim21164 simulates one benchmark on the 21164 with the given LVP config
 // (nil = no LVP hardware).
 func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
-	cfgName := "none"
+	key := sim164Key{name: name, noLVP: cfg == nil}
 	if cfg != nil {
-		cfgName = cfg.Name
+		key.cfg = *cfg
 	}
-	key := name + "/" + cfgName
-	s.mu.Lock()
-	if st, ok := s.s164[key]; ok {
-		s.mu.Unlock()
-		return st, nil
-	}
-	s.mu.Unlock()
-
-	t, err := s.Trace(name, prog.AXP)
-	if err != nil {
-		return axp21164.Stats{}, err
-	}
-	var ann trace.Annotation
-	if cfg != nil {
-		ann, _, err = s.Annotation(name, prog.AXP, *cfg)
+	return s.s164.Get(key, func() (axp21164.Stats, error) {
+		t, err := s.Trace(name, prog.AXP)
 		if err != nil {
 			return axp21164.Stats{}, err
 		}
-	}
-	st := axp21164.Simulate(t, ann, axp21164.Config21164(), cfgName)
-	s.mu.Lock()
-	s.s164[key] = st
-	s.mu.Unlock()
-	return st, nil
+		var ann trace.Annotation
+		cfgName := "none"
+		if cfg != nil {
+			cfgName = cfg.Name
+			ann, _, err = s.Annotation(name, prog.AXP, *cfg)
+			if err != nil {
+				return axp21164.Stats{}, err
+			}
+		}
+		return axp21164.Simulate(t, ann, axp21164.Config21164(), cfgName), nil
+	})
 }
 
-// forEachBench runs fn for every benchmark concurrently (bounded by CPU
-// count) and returns the first error.
+// forEachBench runs fn for every benchmark on the suite's worker pool and
+// returns the lowest-index error.
 func (s *Suite) forEachBench(fn func(b bench.Benchmark) error) error {
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, b := range bench.All() {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b bench.Benchmark) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(b); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(b)
-	}
-	wg.Wait()
-	return firstErr
+	return s.forEachBenchIdx(func(_ int, b bench.Benchmark) error { return fn(b) })
+}
+
+// forEachBenchIdx is forEachBench plus the benchmark's reporting-order
+// index, so drivers can merge results into pre-sized slots without locking:
+// each cell owns exactly one slot, and downstream reductions read the slots
+// in reporting order regardless of completion order.
+func (s *Suite) forEachBenchIdx(fn func(i int, b bench.Benchmark) error) error {
+	all := bench.All()
+	return par.ForEach(s.workers(), len(all), func(i int) error {
+		return fn(i, all[i])
+	})
 }

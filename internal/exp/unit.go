@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
@@ -52,9 +51,7 @@ type Table3Result struct {
 func (s *Suite) Table3() (*Table3Result, error) {
 	n := len(bench.All())
 	res := &Table3Result{AXP: make([]Table3Row, n), PPC: make([]Table3Row, n)}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		for _, tg := range prog.Targets {
 			simple, err := s.AnnotationStats(b.Name, tg, lvp.Simple)
 			if err != nil {
@@ -71,13 +68,11 @@ func (s *Suite) Table3() (*Table3Result, error) {
 				LimitUnpred:  limit.UnpredictableIdentifiedRate(),
 				LimitPred:    limit.PredictableIdentifiedRate(),
 			}
-			mu.Lock()
 			if tg.Name == "axp" {
-				res.AXP[idx[b.Name]] = row
+				res.AXP[i] = row
 			} else {
-				res.PPC[idx[b.Name]] = row
+				res.PPC[i] = row
 			}
-			mu.Unlock()
 		}
 		return nil
 	})
@@ -139,9 +134,7 @@ type Table4Result struct {
 func (s *Suite) Table4() (*Table4Result, error) {
 	n := len(bench.All())
 	res := &Table4Result{AXP: make([]Table4Row, n), PPC: make([]Table4Row, n)}
-	idx := indexOf()
-	var mu sync.Mutex
-	err := s.forEachBench(func(b bench.Benchmark) error {
+	err := s.forEachBenchIdx(func(i int, b bench.Benchmark) error {
 		for _, tg := range prog.Targets {
 			simple, err := s.AnnotationStats(b.Name, tg, lvp.Simple)
 			if err != nil {
@@ -152,13 +145,11 @@ func (s *Suite) Table4() (*Table4Result, error) {
 				return err
 			}
 			row := Table4Row{Name: b.Name, Simple: simple.ConstantRate(), Const: cst.ConstantRate()}
-			mu.Lock()
 			if tg.Name == "axp" {
-				res.AXP[idx[b.Name]] = row
+				res.AXP[i] = row
 			} else {
-				res.PPC[idx[b.Name]] = row
+				res.PPC[i] = row
 			}
-			mu.Unlock()
 		}
 		return nil
 	})

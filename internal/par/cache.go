@@ -1,0 +1,52 @@
+package par
+
+import "sync"
+
+// Cache is a concurrency-safe, single-flight memo table: for each key the
+// build function runs exactly once, no matter how many goroutines ask for
+// the key concurrently; the rest block until the first build completes and
+// then share its result. Results (including errors — builds here are pure,
+// deterministic computations) are cached forever.
+//
+// The zero value is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Get returns the cached value for key, building it with build on first use.
+// Concurrent Gets for the same key run build once and share the result.
+// build runs without any cache lock held, so it may itself Get from other
+// caches (but must not re-enter the same key, which would deadlock).
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*flight[V])
+	}
+	f, ok := c.m[key]
+	if ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.v, f.err
+	}
+	f = &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	defer close(f.done)
+	f.v, f.err = build()
+	return f.v, f.err
+}
+
+// Len reports the number of cached (or in-flight) keys.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,101 @@
+// Package par provides the concurrency primitives the experiment engine is
+// built from: a bounded worker pool, a deterministic indexed fan-out helper,
+// and a single-flight memoizing cache (cache.go).
+//
+// The design goal is determinism under parallelism: experiment drivers fan
+// work out over a Pool but merge results into pre-sized, index-addressed
+// slots, so the rendered tables and figures are byte-identical regardless of
+// worker count or completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the default pool size: the process's GOMAXPROCS.
+func DefaultWorkers() int {
+	return max(1, runtime.GOMAXPROCS(0))
+}
+
+// Pool is a bounded parallel executor. Submitted tasks run on at most
+// `workers` goroutines at once; excess submissions block in Go until a slot
+// frees up. The zero value is not usable; call NewPool.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects DefaultWorkers().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Go submits one task. It blocks while all workers are busy (providing
+// backpressure so a large fan-out does not materialize every task at once).
+func (p *Pool) Go(fn func() error) {
+	p.wg.Add(1)
+	p.sem <- struct{}{}
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		if err := fn(); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = err
+			}
+			p.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has finished and returns the first
+// error observed (in completion order). For a deterministic error choice use
+// ForEach, which reports the lowest-index failure.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded pool of `workers`
+// goroutines (<= 0 selects DefaultWorkers) and waits for all of them.
+//
+// Each index writes its error into a private slot, and ForEach returns the
+// non-nil error with the lowest index — so the error path, like the success
+// path, is independent of scheduling order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

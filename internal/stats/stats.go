@@ -24,7 +24,11 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// Mean returns the arithmetic mean of xs (0 if empty).
+// Mean returns the arithmetic mean of xs (0 if empty). If the running sum
+// overflows to ±Inf even though a finite mean exists (values near
+// math.MaxFloat64), it falls back to an incremental mean that never forms
+// the full sum; the fast path keeps bit-identical results for ordinary
+// inputs.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -33,7 +37,15 @@ func Mean(xs []float64) float64 {
 	for _, x := range xs {
 		sum += x
 	}
-	return sum / float64(len(xs))
+	if !math.IsInf(sum, 0) {
+		return sum / float64(len(xs))
+	}
+	m := 0.0
+	for i, x := range xs {
+		n := float64(i + 1)
+		m += x/n - m/n
+	}
+	return m
 }
 
 // Pct formats a fraction as a percentage with the given precision.

@@ -46,6 +46,114 @@ func TestMean(t *testing.T) {
 	}
 }
 
+// TestMeanEdgeCases is the table-driven edge-case sweep: empty and
+// single-sample inputs, sign cancellation, and overflow-adjacent values
+// whose naive running sum leaves float64 range even though the mean itself
+// is representable.
+func TestMeanEdgeCases(t *testing.T) {
+	big := math.MaxFloat64
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+		tol  float64 // relative; 0 means exact
+	}{
+		{"empty", nil, 0, 0},
+		{"empty slice", []float64{}, 0, 0},
+		{"single", []float64{3.5}, 3.5, 0},
+		{"single zero", []float64{0}, 0, 0},
+		{"single negative", []float64{-7}, -7, 0},
+		{"exact ints", []float64{1, 2, 3}, 2, 0},
+		{"cancellation", []float64{big, -big}, 0, 0},
+		{"overflow two max", []float64{big, big}, big, 1e-9},
+		{"overflow four max", []float64{big, big, big, big}, big, 1e-9},
+		{"overflow mixed sign", []float64{big, big, -big}, big / 3, 1e-9},
+		{"overflow halves", []float64{big / 2, big / 2, big / 2}, big / 2, 1e-9},
+		{"tiny denormal-adjacent", []float64{5e-324, 5e-324}, 5e-324, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Mean(tc.xs)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Mean = %v, want finite %v", got, tc.want)
+			}
+			if tc.tol == 0 {
+				if got != tc.want {
+					t.Fatalf("Mean = %v, want exactly %v", got, tc.want)
+				}
+				return
+			}
+			if diff := math.Abs(got - tc.want); diff > tc.tol*math.Abs(tc.want) {
+				t.Fatalf("Mean = %v, want %v (±%v rel)", got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+// TestGeoMeanEdgeCases covers the degenerate inputs experiment rows can
+// produce: empty, single sample, non-positive values (clamped, not fatal),
+// and magnitudes at both float64 extremes (the log-space formulation must
+// not overflow where a naive product would).
+func TestGeoMeanEdgeCases(t *testing.T) {
+	big := math.MaxFloat64
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+		tol  float64 // relative
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{2.5}, 2.5, 1e-12},
+		{"single one", []float64{1}, 1, 0},
+		{"product overflows", []float64{big / 2, big / 2, big / 2}, big / 2, 1e-9},
+		{"product underflows", []float64{1e-300, 1e-300, 1e-300}, 1e-300, 1e-9},
+		{"wide spread", []float64{1e300, 1e-300}, 1, 1e-9},
+		{"all clamped", []float64{0, -5}, 1e-9, 1e-6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := GeoMean(tc.xs)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("GeoMean = %v, want finite %v", got, tc.want)
+			}
+			if tc.tol == 0 {
+				if got != tc.want {
+					t.Fatalf("GeoMean = %v, want exactly %v", got, tc.want)
+				}
+				return
+			}
+			if tc.want == 0 {
+				if got != 0 {
+					t.Fatalf("GeoMean = %v, want 0", got)
+				}
+				return
+			}
+			if diff := math.Abs(got - tc.want); diff > tc.tol*math.Abs(tc.want) {
+				t.Fatalf("GeoMean = %v, want %v (±%v rel)", got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+// TestFormattingEdgeCases pins Pct/Ratio on boundary fractions.
+func TestFormattingEdgeCases(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Pct(0, 1), "0.0%"},
+		{Pct(1, 0), "100%"},
+		{Pct(0.005, 2), "0.50%"},
+		{Ratio(1), "1.000"},
+		{Ratio(0.9994), "0.999"},
+		{Ratio(0.99951), "1.000"}, // rounds up across the 1.0 boundary
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("formatted %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
 func TestFormatting(t *testing.T) {
 	if s := Pct(0.1234, 1); s != "12.3%" {
 		t.Errorf("Pct = %q", s)

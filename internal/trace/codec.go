@@ -115,18 +115,37 @@ func Read(r io.Reader) (*Trace, error) {
 	if count > maxReasonable {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	t.Records = make([]Record, count)
+	// Allocate incrementally rather than trusting the count header: a
+	// malformed input claiming billions of records must fail with a
+	// decode error, not an enormous up-front allocation.
+	const allocChunk = 1 << 16
+	t.Records = make([]Record, 0, min(count, allocChunk))
 	prevPC := uint64(0)
-	for i := range t.Records {
-		rec := &t.Records[i]
-		hdr := make([]byte, 6)
-		if _, err := io.ReadFull(br, hdr); err != nil {
+	var hdr [6]byte
+	for i := uint64(0); i < count; i++ {
+		var rec Record
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return nil, fmt.Errorf("trace: record %d header: %w", i, err)
 		}
 		flags := hdr[0]
+		if flags&^(flagMem|flagTaken|flagTarg|flagVal) != 0 {
+			return nil, fmt.Errorf("trace: record %d: unknown flag bits %#02x", i, flags)
+		}
 		rec.Op = isaOp(hdr[1])
 		rec.Rd, rec.Ra, rec.Rb = isaReg(hdr[2]), isaReg(hdr[3]), isaReg(hdr[4])
 		rec.Class = isaLoadClass(hdr[5])
+		// The flag byte is redundant with the opcode; reject records
+		// where they disagree so every decoded trace is canonical (and
+		// re-encodes to the same semantic records).
+		if mem := rec.IsLoad() || rec.IsStore(); (flags&flagMem != 0) != mem {
+			return nil, fmt.Errorf("trace: record %d: mem flag inconsistent with opcode %v", i, rec.Op)
+		}
+		if (flags&flagTarg != 0) != rec.IsBranch() {
+			return nil, fmt.Errorf("trace: record %d: branch-target flag inconsistent with opcode %v", i, rec.Op)
+		}
+		if flags&flagVal != 0 && flags&flagMem != 0 {
+			return nil, fmt.Errorf("trace: record %d: value flag on a memory record", i)
+		}
 		dpc, err := binary.ReadVarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
@@ -160,6 +179,7 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: record %d target: %w", i, err)
 			}
 		}
+		t.Records = append(t.Records, rec)
 	}
 	return t, nil
 }
