@@ -1,12 +1,12 @@
 # Development targets for the lvp repository.
 #
-# `make check` is the tier-1 gate (build + tests). `make race` runs the
-# race detector over the fast tests; `make race-full` includes the golden
+# `make check` is the full local gate: build, static checks (vet + gofmt),
+# tests, and the race-detector pass. `make race-full` includes the golden
 # serial-vs-parallel render, which is expensive under the detector.
 
 GO ?= go
 
-.PHONY: all build check test race race-full fuzz bench verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs verify clean
 
 all: build
 
@@ -16,12 +16,22 @@ build:
 test:
 	$(GO) test ./...
 
-check: build test
+# Static checks: go vet plus a gofmt cleanliness gate (fails listing any
+# file that gofmt would rewrite).
+vet:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+check: build vet test race
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
-# order of magnitude; all concurrency unit tests (internal/par, the suite
-# cache paths, the cheap golden repeat) still run under the detector.
+# order of magnitude; all concurrency unit tests (internal/par, internal/obs,
+# the suite cache paths, the cheap golden repeat) still run under the
+# detector.
 race:
 	$(GO) test -race -short ./...
 
@@ -40,7 +50,13 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkExpAll' -benchtime 2x .
 
-verify: check race
+# Observability overhead benchmarks: AnnotateSimple vs the nil-tracer and
+# disabled-channel variants must agree within noise (<5%); see
+# OBSERVABILITY.md.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkAnnotate' -benchtime 2s -count 3 .
+
+verify: check
 
 clean:
 	$(GO) clean ./...

@@ -221,6 +221,65 @@ func BenchmarkAnnotateSimple(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Records)), "instrs/op")
 }
 
+// --- observability overhead (OBSERVABILITY.md) ---
+//
+// The instrumentation contract is <5% annotation overhead with tracing
+// disabled. Compare these three against BenchmarkAnnotateSimple
+// (benchstat, or raw ns/op): the nil-tracer and disabled-channel variants
+// must stay within noise of it; only the enabled variant may cost.
+
+// BenchmarkAnnotateNilTracer runs the traced annotation path with a nil
+// tracer — the default for every cached Suite build without -trace.
+func BenchmarkAnnotateNilTracer(b *testing.B) {
+	tr, err := lvp.BuildTrace("xlisp", lvp.PPC, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := lvp.AnnotateTraced(tr, lvp.Simple, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "instrs/op")
+}
+
+// BenchmarkAnnotateDisabledChannels runs with a live tracer whose LVP
+// channels are all off, so every per-load emission reduces to one masked
+// bitmask test.
+func BenchmarkAnnotateDisabledChannels(b *testing.B) {
+	tr, err := lvp.BuildTrace("xlisp", lvp.PPC, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := lvp.NewTracer(io.Discard, lvp.ChanPipeline)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := lvp.AnnotateTraced(tr, lvp.Simple, tracer); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "instrs/op")
+}
+
+// BenchmarkAnnotateTracedEnabled is the worst case: every LVP channel
+// enabled, events serialized to io.Discard. This is expected to be slower —
+// it bounds what -trace lvpt,lct,cvu costs, not the default path.
+func BenchmarkAnnotateTracedEnabled(b *testing.B) {
+	tr, err := lvp.BuildTrace("xlisp", lvp.PPC, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := lvp.NewTracer(io.Discard, lvp.ChanLVPT|lvp.ChanLCT|lvp.ChanCVU)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := lvp.AnnotateTraced(tr, lvp.Simple, tracer); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "instrs/op")
+}
+
 func BenchmarkSimulate620(b *testing.B) {
 	tr, err := lvp.BuildTrace("xlisp", lvp.PPC, 1)
 	if err != nil {

@@ -11,27 +11,42 @@
 // Experiment cells (benchmark × target × config × machine) run on a bounded
 // worker pool; results are merged deterministically, so the output is
 // byte-identical for every -parallel value.
+//
+// Observability (see OBSERVABILITY.md):
+//
+//	lvpsim -exp all -metrics out.json      # JSON metrics snapshot
+//	lvpsim -exp all -progress              # live completion line on stderr
+//	lvpsim -exp table3 -trace lvpt,cvu -trace-out events.jsonl
+//	lvpsim -exp all -pprof localhost:6060  # pprof + /debug/vars while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"lvp/internal/exp"
+	"lvp/internal/obs"
 	"lvp/internal/report"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
-		scale    = flag.Int("scale", 1, "benchmark run-length multiplier")
-		parallel = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		timing   = flag.Bool("time", false, "print wall time per experiment")
-		format   = flag.String("format", "text", "output format: text or csv")
+		expFlag   = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
+		scale     = flag.Int("scale", 1, "benchmark run-length multiplier")
+		parallel  = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		timing    = flag.Bool("time", false, "print wall time per experiment")
+		format    = flag.String("format", "text", "output format: text or csv")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		traceFlag = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline or 'all')")
+		traceOut  = flag.String("trace-out", "", "write trace events (JSONL) to this file (default stderr)")
+		progress  = flag.Bool("progress", false, "print a live cell-completion line on stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address while running")
 	)
 	flag.Parse()
 	switch *format {
@@ -70,22 +85,62 @@ func main() {
 	}
 
 	s := exp.NewSuiteParallel(*scale, *parallel)
+
+	// Structured event tracing: parse channels, open the sink.
+	if *traceFlag != "" {
+		mask, err := obs.ParseChannels(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpsim: %v\n", err)
+			os.Exit(2)
+		}
+		sink := os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lvpsim: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			sink = f
+		}
+		s.Tracer = obs.NewTracer(sink, mask)
+	}
+
+	if *pprofAddr != "" {
+		s.Metrics.Publish("lvp")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lvpsim: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	start := time.Now()
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = startProgress(s, start)
+	}
+
 	ran := 0
 	for _, e := range experiments {
 		if !want[e.Name] {
 			continue
 		}
-		start := time.Now()
-		if err := e.Run(s, os.Stdout); err != nil {
+		expStart := time.Now()
+		err := e.Run(s, os.Stdout)
+		s.Metrics.Timer("exp." + e.Name).Observe(time.Since(expStart))
+		if err != nil {
+			stopProgress()
 			fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s: %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s: %v]\n", e.Name, time.Since(expStart).Round(time.Millisecond))
 		}
 		ran++
 		delete(want, e.Name)
 	}
+	stopProgress()
 	for name := range want {
 		fmt.Fprintf(os.Stderr, "lvpsim: unknown experiment %q (use -list)\n", name)
 		os.Exit(2)
@@ -93,5 +148,75 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "lvpsim: nothing to run (use -list)")
 		os.Exit(2)
+	}
+
+	// Always report run totals, so long runs end with a measurement even
+	// without -progress or -metrics.
+	traces, anns, sims := cellCounts(s)
+	fmt.Fprintf(os.Stderr, "lvpsim: %d experiments, %d cells (%d traces, %d annotations, %d simulations) in %v\n",
+		ran, traces+anns+sims, traces, anns, sims, time.Since(start).Round(time.Millisecond))
+
+	if *metrics != "" {
+		s.FinalizeMetrics()
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Metrics.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpsim: writing %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// cellCounts reads the completed-build counters from the suite registry.
+func cellCounts(s *exp.Suite) (traces, anns, sims int64) {
+	traces = s.Metrics.Counter("progress.trace").Value()
+	anns = s.Metrics.Counter("progress.annotate").Value()
+	sims = s.Metrics.Counter("progress.sim620").Value() +
+		s.Metrics.Counter("progress.sim21164").Value()
+	return traces, anns, sims
+}
+
+// startProgress launches a goroutine refreshing one stderr status line with
+// live cell-completion counts; the returned function stops it and clears
+// the line.
+func startProgress(s *exp.Suite, start time.Time) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				// Clear the status line so the summary prints clean.
+				fmt.Fprintf(os.Stderr, "\r%*s\r", 79, "")
+				return
+			case <-tick.C:
+				traces, anns, sims := cellCounts(s)
+				busy := s.Metrics.Gauge("pool.busy").Value()
+				fmt.Fprintf(os.Stderr,
+					"\rlvpsim: traces %d · annotations %d · simulations %d · %d busy · %v ",
+					traces, anns, sims, busy,
+					time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
 	}
 }

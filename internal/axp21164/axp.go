@@ -15,9 +15,13 @@
 package axp21164
 
 import (
+	"fmt"
+	"log/slog"
+
 	"lvp/internal/bpred"
 	"lvp/internal/cache"
 	"lvp/internal/isa"
+	"lvp/internal/obs"
 	"lvp/internal/trace"
 )
 
@@ -128,10 +132,18 @@ func execLatency(op isa.Op) int {
 // Simulate runs the annotated trace through the in-order model. ann may be
 // nil (no LVP hardware).
 func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string) Stats {
+	return SimulateObs(tr, ann, cfg, lvpName, nil)
+}
+
+// SimulateObs is Simulate with an event tracer: value-misprediction
+// squashes and cancelled predictions on the sim channel, L1 misses on the
+// cache channel. obsTr == nil is exactly Simulate.
+func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string, obsTr *obs.Tracer) Stats {
 	hier := &cache.Hierarchy{
 		L1:        cache.MustNew(cfg.L1),
 		L2:        cache.MustNew(cfg.L2),
 		L1Latency: cfg.L1Latency, L2Latency: cfg.L2Latency, MemLatency: cfg.MemLatency,
+		Tracer: obsTr,
 	}
 	bp := bpred.New(bpred.Default21164)
 	st := Stats{Machine: cfg.Name, LVPConfig: lvpName, Instructions: len(tr.Records)}
@@ -203,7 +215,7 @@ func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string)
 			if ann != nil {
 				pred = ann[i]
 			}
-			done, barrier = issueLoad(r, pred, cycle, barrier, cfg, hier, &st)
+			done, barrier = issueLoad(r, pred, cycle, barrier, cfg, hier, &st, obsTr)
 		case r.IsStore():
 			memUsed++
 			hier.Access(r.Addr)
@@ -233,7 +245,7 @@ func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string)
 // issueLoad handles one load under the paper's 21164 LVP rules and returns
 // the cycle its value is available plus the updated issue barrier.
 func issueLoad(r *trace.Record, pred trace.PredState, cycle, barrier int,
-	cfg Config, hier *cache.Hierarchy, st *Stats) (done int, newBarrier int) {
+	cfg Config, hier *cache.Hierarchy, st *Stats, otr *obs.Tracer) (done int, newBarrier int) {
 	newBarrier = barrier
 	switch pred {
 	case trace.PredConstant:
@@ -246,6 +258,12 @@ func issueLoad(r *trace.Record, pred trace.PredState, cycle, barrier int,
 			// The 21164 cannot stall past dispatch, so predictions
 			// on L1 misses are cancelled before any harm (§4.2).
 			st.PredictionsCancelled++
+			if otr.Enabled(obs.ChanSim) {
+				otr.Emit(obs.ChanSim, "prediction-cancelled",
+					slog.String("pc", fmt.Sprintf("%#x", r.PC)),
+					slog.String("addr", fmt.Sprintf("%#x", r.Addr)),
+					slog.Int("cycle", cycle))
+			}
 			st.LoadStates[trace.PredNone]++
 			res := hier.Access(r.Addr)
 			done = cycle + res.Latency
@@ -269,6 +287,13 @@ func issueLoad(r *trace.Record, pred trace.PredState, cycle, barrier int,
 		st.Squashes++
 		done = cycle + res.Latency
 		newBarrier = max(newBarrier, done+1+cfg.ReissuePenalty)
+		if otr.Enabled(obs.ChanSim) {
+			otr.Emit(obs.ChanSim, "value-squash",
+				slog.String("pc", fmt.Sprintf("%#x", r.PC)),
+				slog.String("addr", fmt.Sprintf("%#x", r.Addr)),
+				slog.Int("cycle", cycle),
+				slog.Int("reissue_at", newBarrier))
+		}
 		return done, newBarrier
 	default:
 		st.LoadStates[trace.PredNone]++

@@ -4,7 +4,12 @@
 // per-access latencies.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"log/slog"
+
+	"lvp/internal/obs"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -41,7 +46,14 @@ func (c Config) Validate() error {
 type Stats struct {
 	Accesses int
 	Misses   int
+	// Evictions counts valid lines displaced by miss fills (capacity and
+	// conflict replacement; cold fills into invalid lines are not
+	// evictions).
+	Evictions int
 }
+
+// Hits is Accesses - Misses.
+func (s Stats) Hits() int { return s.Accesses - s.Misses }
 
 // MissRate is misses per access.
 func (s Stats) MissRate() float64 {
@@ -130,6 +142,9 @@ func (c *Cache) Access(addr uint64) bool {
 			victim = i
 		}
 	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
 	set[victim] = line{tag: tag, valid: true, used: c.clock}
 	return false
 }
@@ -155,6 +170,9 @@ type Hierarchy struct {
 	L1Latency  int
 	L2Latency  int
 	MemLatency int
+	// Tracer, when set with the cache channel enabled, emits one event
+	// per L1 miss naming the level that satisfied the access.
+	Tracer *obs.Tracer
 }
 
 // AccessResult describes where an access was satisfied.
@@ -169,13 +187,19 @@ func (h *Hierarchy) Access(addr uint64) AccessResult {
 	if h.L1.Access(addr) {
 		return AccessResult{Latency: h.L1Latency, L1Hit: true}
 	}
-	if h.L2 != nil {
-		if h.L2.Access(addr) {
-			return AccessResult{Latency: h.L2Latency, L2Hit: true}
-		}
-		return AccessResult{Latency: h.MemLatency}
+	res := AccessResult{Latency: h.MemLatency}
+	level := "mem"
+	if h.L2 != nil && h.L2.Access(addr) {
+		res = AccessResult{Latency: h.L2Latency, L2Hit: true}
+		level = "l2"
 	}
-	return AccessResult{Latency: h.MemLatency}
+	if h.Tracer.Enabled(obs.ChanCache) {
+		h.Tracer.Emit(obs.ChanCache, "l1-miss",
+			slog.String("addr", fmt.Sprintf("%#x", addr)),
+			slog.String("filled_by", level),
+			slog.Int("latency", res.Latency))
+	}
+	return res
 }
 
 // ProbeL1 checks whether addr would hit in the L1 without side effects

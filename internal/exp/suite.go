@@ -23,10 +23,13 @@ package exp
 
 import (
 	"fmt"
+	"log/slog"
+	"time"
 
 	"lvp/internal/axp21164"
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
+	"lvp/internal/obs"
 	"lvp/internal/par"
 	"lvp/internal/ppc620"
 	"lvp/internal/prog"
@@ -83,6 +86,18 @@ type Suite struct {
 	// byte-identical for every value.
 	Workers int
 
+	// Metrics receives pipeline telemetry: per-phase build timers,
+	// LVPT/LCT/CVU and machine-model counters, worker-pool occupancy.
+	// NewSuite installs a fresh registry; nil disables collection (a
+	// nil registry's metric handles are no-ops). Metrics never affect
+	// experiment output.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, emits structured events from every pipeline
+	// layer on its enabled channels (lvpt, lct, cvu, cache, sim,
+	// pipeline). Tracing never affects experiment output either — only
+	// what is emitted alongside it.
+	Tracer *obs.Tracer
+
 	traces par.Cache[traceKey, *trace.Trace]
 	anns   par.Cache[annKey, annotated]
 	s620   par.Cache[sim620Key, ppc620.Stats]
@@ -106,6 +121,7 @@ func NewSuiteParallel(scale, workers int) *Suite {
 		Scale:    scale,
 		MaxSteps: 200_000_000,
 		Workers:  workers,
+		Metrics:  obs.NewRegistry(),
 	}
 }
 
@@ -121,6 +137,7 @@ func (s *Suite) workers() int {
 // Concurrent callers for the same trace share a single build.
 func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
 	return s.traces.Get(traceKey{name, target.Name, s.Scale}, func() (*trace.Trace, error) {
+		start := time.Now()
 		bm, err := bench.ByName(name)
 		if err != nil {
 			return nil, err
@@ -133,8 +150,26 @@ func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: running %s/%s: %w", name, target.Name, err)
 		}
+		s.finishPhase("trace", start,
+			slog.String("bench", name), slog.String("target", target.Name),
+			slog.Int("records", len(t.Records)))
 		return t, nil
 	})
+}
+
+// finishPhase records one completed pipeline build: its wall time under the
+// phase.<phase> timer, a progress.<phase> completion count, and — with the
+// pipeline trace channel enabled — one event carrying the cell's identity
+// and duration.
+func (s *Suite) finishPhase(phase string, start time.Time, attrs ...slog.Attr) {
+	elapsed := time.Since(start)
+	s.Metrics.Timer("phase." + phase).Observe(elapsed)
+	s.Metrics.Counter("progress." + phase).Inc()
+	if s.Tracer.Enabled(obs.ChanPipeline) {
+		attrs = append(attrs, slog.String("phase", phase),
+			slog.Int64("wall_us", elapsed.Microseconds()))
+		s.Tracer.Emit(obs.ChanPipeline, "phase-done", attrs...)
+	}
 }
 
 // Annotation returns the cached LVP annotation and unit stats for one
@@ -146,8 +181,16 @@ func (s *Suite) Annotation(name string, target prog.Target, cfg lvp.Config) (tra
 		if err != nil {
 			return annotated{}, err
 		}
-		a, st, err := lvp.Annotate(t, cfg)
-		return annotated{a, st}, err
+		start := time.Now()
+		a, st, err := lvp.AnnotateTraced(t, cfg, s.Tracer)
+		if err != nil {
+			return annotated{}, err
+		}
+		s.recordAnnStats(st)
+		s.finishPhase("annotate", start,
+			slog.String("bench", name), slog.String("target", target.Name),
+			slog.String("config", cfg.Name))
+		return annotated{a, st}, nil
 	})
 	return r.ann, r.st, err
 }
@@ -185,7 +228,13 @@ func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, e
 		if plus {
 			mc = ppc620.Config620Plus()
 		}
-		return ppc620.Simulate(t, ann, mc, cfgName), nil
+		start := time.Now()
+		st := ppc620.SimulateObs(t, ann, mc, cfgName, s.Tracer)
+		s.record620Stats(st)
+		s.finishPhase("sim620", start,
+			slog.String("bench", name), slog.String("machine", mc.Name),
+			slog.String("config", cfgName))
+		return st, nil
 	})
 }
 
@@ -210,7 +259,12 @@ func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
 				return axp21164.Stats{}, err
 			}
 		}
-		return axp21164.Simulate(t, ann, axp21164.Config21164(), cfgName), nil
+		start := time.Now()
+		st := axp21164.SimulateObs(t, ann, axp21164.Config21164(), cfgName, s.Tracer)
+		s.record164Stats(st)
+		s.finishPhase("sim21164", start,
+			slog.String("bench", name), slog.String("config", cfgName))
+		return st, nil
 	})
 }
 
@@ -226,7 +280,14 @@ func (s *Suite) forEachBench(fn func(b bench.Benchmark) error) error {
 // in reporting order regardless of completion order.
 func (s *Suite) forEachBenchIdx(fn func(i int, b bench.Benchmark) error) error {
 	all := bench.All()
-	return par.ForEach(s.workers(), len(all), func(i int) error {
+	var meter par.Meter
+	if s.Metrics != nil {
+		// The pool.busy gauge tracks live worker occupancy; its
+		// high-water mark reports how much of the pool the fan-out
+		// actually used.
+		meter = s.Metrics.Gauge("pool.busy")
+	}
+	return par.ForEachMeter(s.workers(), len(all), meter, func(i int) error {
 		return fn(i, all[i])
 	})
 }

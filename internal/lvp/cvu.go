@@ -10,6 +10,23 @@ type CVU struct {
 	capacity int
 	entries  []cvuEntry
 	clock    uint64
+	stats    CVUStats
+}
+
+// CVUStats counts CAM events. Plain ints — one CVU per Unit per goroutine;
+// aggregation into shared atomic counters happens once per annotation pass.
+type CVUStats struct {
+	Lookups int64
+	Hits    int64
+	Misses  int64
+	Inserts int64
+	// Evictions counts LRU capacity evictions on Insert. Invalidation
+	// removals are counted separately: AddrInvalidated entries were
+	// removed by store-address matches, IndexInvalidated by LVPT value
+	// displacements.
+	Evictions        int64
+	AddrInvalidated  int64
+	IndexInvalidated int64
 }
 
 type cvuEntry struct {
@@ -26,14 +43,17 @@ func NewCVU(capacity int) *CVU {
 // Lookup performs the CAM search on (addr, index) — the concatenation the
 // paper describes — and refreshes the entry's LRU position on a hit.
 func (c *CVU) Lookup(addr uint64, index int) bool {
+	c.stats.Lookups++
 	for i := range c.entries {
 		e := &c.entries[i]
 		if e.addr == addr && e.index == index {
 			c.clock++
 			e.used = c.clock
+			c.stats.Hits++
 			return true
 		}
 	}
+	c.stats.Misses++
 	return false
 }
 
@@ -45,6 +65,7 @@ func (c *CVU) Insert(addr uint64, index int) {
 		return
 	}
 	c.clock++
+	c.stats.Inserts++
 	for i := range c.entries {
 		e := &c.entries[i]
 		if e.addr == addr && e.index == index {
@@ -57,6 +78,7 @@ func (c *CVU) Insert(addr uint64, index int) {
 		return
 	}
 	// Evict LRU.
+	c.stats.Evictions++
 	victim := 0
 	for i := 1; i < len(c.entries); i++ {
 		if c.entries[i].used < c.entries[victim].used {
@@ -87,6 +109,7 @@ func (c *CVU) InvalidateAddr(addr uint64, size int) int {
 		out = append(out, e)
 	}
 	c.entries = out
+	c.stats.AddrInvalidated += int64(removed)
 	return removed
 }
 
@@ -104,8 +127,12 @@ func (c *CVU) InvalidateIndex(index int) int {
 		out = append(out, e)
 	}
 	c.entries = out
+	c.stats.IndexInvalidated += int64(removed)
 	return removed
 }
 
 // Len reports the current occupancy.
 func (c *CVU) Len() int { return len(c.entries) }
+
+// Stats returns the accumulated CAM counters.
+func (c *CVU) Stats() CVUStats { return c.stats }

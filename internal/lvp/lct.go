@@ -26,6 +26,22 @@ func (c Classification) String() string {
 	return "unknown"
 }
 
+// NumClasses is the number of Classification values, sizing the LCT's
+// transition matrix.
+const NumClasses = 3
+
+// LCTStats counts classification events. Transitions is indexed
+// [from][to] by Classification and counts every Update call by the
+// classification pair it moved between (including self-transitions, e.g. a
+// 2-bit counter stepping 0→1 stays no-predict). Plain ints: one LCT belongs
+// to one Unit on one goroutine; aggregation into shared atomic counters
+// happens once per annotation pass.
+type LCTStats struct {
+	Lookups     int64
+	Updates     int64
+	Transitions [NumClasses][NumClasses]int64
+}
+
 // LCT is the Load Classification Table (paper §3.2): a direct-mapped table
 // of n-bit saturating counters indexed by the low-order bits of the load
 // instruction address. With 2-bit counters the four states 0-3 map to
@@ -36,6 +52,7 @@ type LCT struct {
 	max      uint8
 	mask     uint64
 	counters []uint8
+	stats    LCTStats
 }
 
 // NewLCT returns a table with the given entries (power of two) and counter
@@ -61,7 +78,12 @@ func (l *LCT) index(pc uint64) int {
 
 // Classify reports how the load at pc should be handled.
 func (l *LCT) Classify(pc uint64) Classification {
-	c := l.counters[l.index(pc)]
+	l.stats.Lookups++
+	return l.classOf(l.counters[l.index(pc)])
+}
+
+// classOf maps a raw counter value to its classification.
+func (l *LCT) classOf(c uint8) Classification {
 	if l.bits == 1 {
 		// 1-bit counters: {don't predict, constant}.
 		if c == 0 {
@@ -84,14 +106,21 @@ func (l *LCT) Classify(pc uint64) Classification {
 func (l *LCT) Update(pc uint64, correct bool) {
 	i := l.index(pc)
 	c := l.counters[i]
+	n := c
 	if correct {
 		if c < l.max {
-			l.counters[i] = c + 1
+			n = c + 1
 		}
 	} else if c > 0 {
-		l.counters[i] = c - 1
+		n = c - 1
 	}
+	l.counters[i] = n
+	l.stats.Updates++
+	l.stats.Transitions[l.classOf(c)][l.classOf(n)]++
 }
+
+// Stats returns the accumulated classification counters.
+func (l *LCT) Stats() LCTStats { return l.stats }
 
 // Counter exposes the raw counter value (for tests and introspection).
 func (l *LCT) Counter(pc uint64) uint8 { return l.counters[l.index(pc)] }

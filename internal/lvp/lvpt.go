@@ -2,6 +2,21 @@ package lvp
 
 import "lvp/internal/isa"
 
+// LVPTStats counts table events. The counters are plain ints — each LVPT
+// belongs to exactly one LVP Unit running on one goroutine — and are
+// aggregated into atomic registry counters once per annotation pass.
+type LVPTStats struct {
+	// Lookups counts Predict/Contains queries; Hits counts the subset
+	// that found a warm entry (at least one value in its history).
+	Lookups int64
+	Hits    int64
+	// Updates counts Update calls; Replacements counts the subset that
+	// displaced a value from a full history (the table's only form of
+	// eviction — it is untagged, so there are no tag misses to count).
+	Updates      int64
+	Replacements int64
+}
+
 // LVPT is the Load Value Prediction Table (paper §3.1): direct-mapped,
 // untagged, indexed by the low-order bits of the load instruction address.
 // Because it is untagged, static loads that alias the same entry interfere —
@@ -11,6 +26,7 @@ type LVPT struct {
 	mask    uint64
 	values  []uint64
 	lengths []int
+	stats   LVPTStats
 }
 
 // NewLVPT returns a table with the given entries (power of two) and history
@@ -43,9 +59,11 @@ func (t *LVPT) Index(pc uint64) int {
 // ok is false when the entry has no history yet (no prediction possible).
 func (t *LVPT) Predict(pc uint64) (value uint64, ok bool) {
 	i := t.Index(pc)
+	t.stats.Lookups++
 	if t.lengths[i] == 0 {
 		return 0, false
 	}
+	t.stats.Hits++
 	return t.values[i*t.depth], true
 }
 
@@ -54,6 +72,10 @@ func (t *LVPT) Predict(pc uint64) (value uint64, ok bool) {
 // history depths greater than one.
 func (t *LVPT) Contains(pc, value uint64) bool {
 	i := t.Index(pc)
+	t.stats.Lookups++
+	if t.lengths[i] > 0 {
+		t.stats.Hits++
+	}
 	vals := t.values[i*t.depth : i*t.depth+t.depth]
 	for j := 0; j < t.lengths[i]; j++ {
 		if vals[j] == value {
@@ -70,6 +92,7 @@ func (t *LVPT) Contains(pc, value uint64) bool {
 // index, keeping the CVU's coherence guarantee exact.
 func (t *LVPT) Update(pc, value uint64) (changed bool) {
 	i := t.Index(pc)
+	t.stats.Updates++
 	vals := t.values[i*t.depth : i*t.depth+t.depth]
 	n := t.lengths[i]
 	for j := 0; j < n; j++ {
@@ -82,8 +105,13 @@ func (t *LVPT) Update(pc, value uint64) (changed bool) {
 	if n < t.depth {
 		t.lengths[i] = n + 1
 		n++
+	} else {
+		t.stats.Replacements++
 	}
 	copy(vals[1:n], vals[:n-1])
 	vals[0] = value
 	return true
 }
+
+// Stats returns the accumulated table counters.
+func (t *LVPT) Stats() LVPTStats { return t.stats }

@@ -2,7 +2,9 @@ package lvp
 
 import (
 	"fmt"
+	"log/slog"
 
+	"lvp/internal/obs"
 	"lvp/internal/trace"
 )
 
@@ -29,6 +31,11 @@ type Stats struct {
 	// The invalidate-on-update discipline keeps this at zero; it exists
 	// as a checked invariant.
 	CoherenceViolations int
+
+	// Per-structure event counters (observability; not paper exhibits).
+	LVPT LVPTStats
+	LCT  LCTStats
+	CVU  CVUStats
 }
 
 // ConstantRate is paper Table 4: the fraction of all dynamic loads verified
@@ -83,6 +90,7 @@ type Unit struct {
 	lvpt  *LVPT
 	lct   *LCT
 	cvu   *CVU
+	tr    *obs.Tracer
 	stats Stats
 }
 
@@ -100,14 +108,38 @@ func NewUnit(cfg Config) (*Unit, error) {
 	return u, nil
 }
 
-// Stats returns the accumulated statistics.
-func (u *Unit) Stats() Stats { return u.stats }
+// SetTracer attaches an event tracer; nil (the default) disables tracing.
+// The unit emits on the lvpt, lct and cvu channels.
+func (u *Unit) SetTracer(tr *obs.Tracer) { u.tr = tr }
+
+// Stats returns the accumulated statistics, including the per-structure
+// event counters.
+func (u *Unit) Stats() Stats {
+	st := u.stats
+	if u.lvpt != nil {
+		st.LVPT = u.lvpt.Stats()
+	}
+	if u.lct != nil {
+		st.LCT = u.lct.Stats()
+	}
+	if u.cvu != nil {
+		st.CVU = u.cvu.Stats()
+	}
+	return st
+}
 
 // Store processes a store instruction: the CVU CAM is searched and all
 // entries matching the store's footprint are invalidated (paper §3.4).
 func (u *Unit) Store(addr uint64, size int) {
 	if u.cvu != nil {
-		u.stats.CVUStoreInvalidations += u.cvu.InvalidateAddr(addr, size)
+		removed := u.cvu.InvalidateAddr(addr, size)
+		u.stats.CVUStoreInvalidations += removed
+		if removed > 0 && u.tr.Enabled(obs.ChanCVU) {
+			u.tr.Emit(obs.ChanCVU, "store-invalidate",
+				slog.String("addr", fmt.Sprintf("%#x", addr)),
+				slog.Int("size", size),
+				slog.Int("removed", removed))
+		}
 	}
 }
 
@@ -124,12 +156,13 @@ func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
 	}
 	idx := u.lvpt.Index(pc)
 	var correct bool
+	var predicted uint64
 	if u.cfg.HistoryDepth > 1 {
 		// Perfect selection oracle over the history set (paper §3.1).
 		correct = u.lvpt.Contains(pc, actual)
 	} else {
-		pred, _ := u.lvpt.Predict(pc) // cold entries predict zero
-		correct = pred == actual
+		predicted, _ = u.lvpt.Predict(pc) // cold entries predict zero
+		correct = predicted == actual
 	}
 	class := u.lct.Classify(pc)
 
@@ -148,6 +181,12 @@ func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
 		switch {
 		case hit && correct:
 			state = trace.PredConstant
+			if u.tr.Enabled(obs.ChanCVU) {
+				u.tr.Emit(obs.ChanCVU, "hit",
+					slog.String("pc", fmt.Sprintf("%#x", pc)),
+					slog.String("addr", fmt.Sprintf("%#x", addr)),
+					slog.Int("index", idx))
+			}
 		case hit:
 			// A CVU hit vouching for a wrong value would be a
 			// hardware bug; the invalidation discipline prevents
@@ -160,14 +199,54 @@ func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
 			state = trace.PredCorrect
 			u.cvu.Insert(addr, idx)
 			u.stats.CVUInserts++
+			if u.tr.Enabled(obs.ChanCVU) {
+				u.tr.Emit(obs.ChanCVU, "insert",
+					slog.String("pc", fmt.Sprintf("%#x", pc)),
+					slog.String("addr", fmt.Sprintf("%#x", addr)),
+					slog.Int("index", idx))
+			}
 		default:
 			state = trace.PredIncorrect
 		}
 	}
 
+	var lctBefore uint8
+	traceLCT := u.tr.Enabled(obs.ChanLCT)
+	if traceLCT {
+		lctBefore = u.lct.Counter(pc)
+	}
 	u.lct.Update(pc, correct)
+	if traceLCT {
+		if after := u.lct.Counter(pc); after != lctBefore {
+			u.tr.Emit(obs.ChanLCT, "transition",
+				slog.String("pc", fmt.Sprintf("%#x", pc)),
+				slog.Int("from", int(lctBefore)),
+				slog.Int("to", int(after)),
+				slog.String("class", u.lct.classOf(after).String()))
+		}
+	}
 	if changed := u.lvpt.Update(pc, actual); changed {
-		u.stats.CVUIndexInvalidations += u.cvu.InvalidateIndex(idx)
+		removed := u.cvu.InvalidateIndex(idx)
+		u.stats.CVUIndexInvalidations += removed
+		if removed > 0 && u.tr.Enabled(obs.ChanCVU) {
+			u.tr.Emit(obs.ChanCVU, "index-invalidate",
+				slog.Int("index", idx),
+				slog.Int("removed", removed))
+		}
+	}
+	if u.tr.Enabled(obs.ChanLVPT) {
+		attrs := []slog.Attr{
+			slog.String("pc", fmt.Sprintf("%#x", pc)),
+			slog.String("addr", fmt.Sprintf("%#x", addr)),
+			slog.String("actual", fmt.Sprintf("%#x", actual)),
+			slog.Bool("correct", correct),
+			slog.String("class", class.String()),
+			slog.String("state", state.String()),
+		}
+		if u.cfg.HistoryDepth == 1 {
+			attrs = append(attrs, slog.String("predicted", fmt.Sprintf("%#x", predicted)))
+		}
+		u.tr.Emit(obs.ChanLVPT, "load", attrs...)
 	}
 
 	u.stats.States[state]++
@@ -189,10 +268,18 @@ func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
 // experimental framework, §5) and returns the per-record prediction states
 // plus unit statistics.
 func Annotate(t *trace.Trace, cfg Config) (trace.Annotation, Stats, error) {
+	return AnnotateTraced(t, cfg, nil)
+}
+
+// AnnotateTraced is Annotate with an event tracer attached to the unit
+// (lvpt, lct and cvu channels); tr == nil is exactly Annotate. Tracing never
+// changes the annotation or the statistics, only what is emitted.
+func AnnotateTraced(t *trace.Trace, cfg Config, tr *obs.Tracer) (trace.Annotation, Stats, error) {
 	u, err := NewUnit(cfg)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("annotating %s: %w", t.Name, err)
 	}
+	u.SetTracer(tr)
 	ann := trace.NewAnnotation(t)
 	for i := range t.Records {
 		r := &t.Records[i]

@@ -1,0 +1,158 @@
+// Package obs is the observability layer of the LVP pipeline: a lightweight
+// metrics registry (registry.go) and a structured event-trace facility
+// modelled on gem5's debug flags.
+//
+// Metrics are named counters, gauges and timers with atomic updates, safe
+// under the internal/par worker pools, snapshotable to JSON and to an
+// expvar-compatible map. Hot code resolves a metric handle once and then
+// updates it lock-free; a nil *Registry hands out no-op handles so
+// instrumentation costs nothing to leave in place.
+//
+// Event tracing is organised into named channels (lvpt, lct, cvu, cache,
+// sim, pipeline), enabled as a bitmask. When a channel is off, the only cost
+// at an emission site is a nil check and a mask test — the attributes are
+// never materialised. When on, events are JSONL records written through
+// log/slog, one line per event, safe for concurrent emitters.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Channel is a bitmask of trace channels. Emission sites tag each event with
+// exactly one channel; the Tracer's mask selects which are live.
+type Channel uint32
+
+const (
+	// ChanLVPT traces Load Value Prediction Table behaviour: one event per
+	// dynamic load with PC, predicted vs actual value, and outcome.
+	ChanLVPT Channel = 1 << iota
+	// ChanLCT traces Load Classification Table counter transitions.
+	ChanLCT
+	// ChanCVU traces Constant Verification Unit hits, inserts and
+	// invalidations.
+	ChanCVU
+	// ChanCache traces memory-hierarchy misses in the timing models.
+	ChanCache
+	// ChanSim traces machine-model incidents: value-misprediction
+	// squashes, alias refetches, MSHR stalls.
+	ChanSim
+	// ChanPipeline traces experiment-engine phases: trace builds,
+	// annotations, simulations, with wall times.
+	ChanPipeline
+
+	// ChanNone is the empty mask.
+	ChanNone Channel = 0
+)
+
+// ChanAll enables every channel.
+const ChanAll = ChanLVPT | ChanLCT | ChanCVU | ChanCache | ChanSim | ChanPipeline
+
+// channelNames maps flag names to bits, in display order.
+var channelNames = []struct {
+	name string
+	bit  Channel
+}{
+	{"lvpt", ChanLVPT},
+	{"lct", ChanLCT},
+	{"cvu", ChanCVU},
+	{"cache", ChanCache},
+	{"sim", ChanSim},
+	{"pipeline", ChanPipeline},
+}
+
+// String renders the mask as a comma-separated channel list.
+func (c Channel) String() string {
+	if c == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, cn := range channelNames {
+		if c&cn.bit != 0 {
+			parts = append(parts, cn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("Channel(%#x)", uint32(c))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseChannels parses a comma-separated channel list ("lvpt,cvu"); "all"
+// selects every channel, "" and "none" select none.
+func ParseChannels(s string) (Channel, error) {
+	var mask Channel
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "", "none":
+			continue
+		case "all":
+			mask |= ChanAll
+			continue
+		}
+		found := false
+		for _, cn := range channelNames {
+			if part == cn.name {
+				mask |= cn.bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("obs: unknown trace channel %q (have %s)", part, ChanAll)
+		}
+	}
+	return mask, nil
+}
+
+// Tracer emits structured events on enabled channels. A nil *Tracer is valid
+// and permanently disabled, so instrumented code guards emission with a
+// plain `if tr.Enabled(chan)` and pays two compares when tracing is off.
+// The mask is fixed at construction; one Tracer may be shared by any number
+// of goroutines (slog handlers serialize their writes).
+type Tracer struct {
+	mask Channel
+	log  *slog.Logger
+}
+
+// NewTracer returns a tracer emitting JSONL events for the masked channels
+// to w. A zero mask returns nil (fully disabled).
+func NewTracer(w io.Writer, mask Channel) *Tracer {
+	if mask == 0 {
+		return nil
+	}
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{
+		// Level/time are noise for an event stream; keep records lean
+		// and deterministic apart from the payload.
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && (a.Key == slog.TimeKey || a.Key == slog.LevelKey) {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return &Tracer{mask: mask, log: slog.New(h)}
+}
+
+// Enabled reports whether channel c is live on this tracer.
+func (t *Tracer) Enabled(c Channel) bool {
+	return t != nil && t.mask&c != 0
+}
+
+// Emit writes one event on channel c. Callers on hot paths should guard with
+// Enabled first so attribute construction is skipped when the channel is off;
+// Emit re-checks, so an unguarded call is merely slower, never wrong.
+func (t *Tracer) Emit(c Channel, event string, attrs ...slog.Attr) {
+	if !t.Enabled(c) {
+		return
+	}
+	all := make([]slog.Attr, 0, len(attrs)+1)
+	all = append(all, slog.String("chan", c.String()))
+	all = append(all, attrs...)
+	t.log.LogAttrs(context.Background(), slog.LevelInfo, event, all...)
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; Add is a single atomic instruction, so counters can sit on
+// hot paths shared by the internal/par worker pools.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value that also tracks its high-water mark.
+// Acquire/Release make it usable directly as a worker-pool occupancy meter
+// (it satisfies par.Meter).
+type Gauge struct {
+	v  atomic.Int64
+	hi atomic.Int64
+}
+
+// Set replaces the gauge value, raising the high-water mark if needed.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+	g.raise(n)
+}
+
+// Add moves the gauge by delta (negative to decrease), raising the
+// high-water mark if the new value exceeds it.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(delta))
+}
+
+func (g *Gauge) raise(n int64) {
+	for {
+		hi := g.hi.Load()
+		if n <= hi || g.hi.CompareAndSwap(hi, n) {
+			return
+		}
+	}
+}
+
+// Acquire marks one unit busy (gauge +1).
+func (g *Gauge) Acquire() { g.Add(1) }
+
+// Release marks one unit idle (gauge -1).
+func (g *Gauge) Release() { g.Add(-1) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi.Load()
+}
+
+// Timer accumulates durations: count, total, min and max. Observations are
+// mutex-guarded; timers are meant for per-phase / per-cell granularity (a
+// handful of observations per experiment cell), not per-instruction paths.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.count++
+	t.total += d
+	if t.count == 1 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.mu.Unlock()
+}
+
+// Start begins timing and returns a stop function that records the elapsed
+// duration: defer tm.Start()().
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Registry is a named collection of counters, gauges and timers. Metric
+// handles are get-or-create by name: resolve once, then update through the
+// returned pointer with no further locking or allocation. A nil *Registry is
+// valid: it hands out nil metric handles whose methods are no-ops, so
+// instrumented code never needs a nil check of its own.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// GaugeSnapshot is one gauge's frozen state.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// TimerSnapshot is one timer's frozen state, in nanoseconds.
+type TimerSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	AvgNS   int64 `json:"avg_ns"`
+}
+
+// Snapshot is a frozen copy of every metric in a registry. encoding/json
+// renders map keys sorted, so the serialized form is deterministic for a
+// given set of metric values.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]GaugeSnapshot `json:"gauges"`
+	Timers   map[string]TimerSnapshot `json:"timers"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]GaugeSnapshot{},
+		Timers:   map[string]TimerSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for name, t := range r.timers {
+		t.mu.Lock()
+		ts := TimerSnapshot{
+			Count:   t.count,
+			TotalNS: t.total.Nanoseconds(),
+			MinNS:   t.min.Nanoseconds(),
+			MaxNS:   t.max.Nanoseconds(),
+		}
+		if t.count > 0 {
+			ts.AvgNS = ts.TotalNS / t.count
+		}
+		t.mu.Unlock()
+		s.Timers[name] = ts
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Publish registers the registry under name in the process-wide expvar map
+// (served at /debug/vars by the pprof endpoint). Publishing the same name
+// twice is a no-op rather than the expvar.Publish panic, so repeated runs in
+// one process are safe.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

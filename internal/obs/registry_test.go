@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentMetrics hammers one counter, gauge and timer from 64
+// goroutines (the satellite's -race gate) and checks the merged totals.
+func TestConcurrentMetrics(t *testing.T) {
+	const goroutines = 64
+	const perG = 1000
+
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			ga := r.Gauge("g")
+			tm := r.Timer("t")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Acquire()
+				tm.Observe(time.Microsecond)
+				ga.Release()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("c").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge value = %d, want 0 (all released)", got)
+	}
+	if hi := r.Gauge("g").Max(); hi < 1 || hi > goroutines {
+		t.Errorf("gauge high-water = %d, want in [1,%d]", hi, goroutines)
+	}
+	if got := r.Timer("t").Count(); got != goroutines*perG {
+		t.Errorf("timer count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Timer("t").Total(); got != goroutines*perG*time.Microsecond {
+		t.Errorf("timer total = %v, want %v", got, goroutines*perG*time.Microsecond)
+	}
+}
+
+// TestConcurrentRegistryResolve races get-or-create for the same names and
+// checks every goroutine got the same handle (no lost updates).
+func TestConcurrentRegistryResolve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared").Inc()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 64 {
+		t.Errorf("shared counter = %d, want 64", got)
+	}
+}
+
+func TestGaugeSetRaisesMax(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Errorf("got value=%d max=%d, want 2/5", g.Value(), g.Max())
+	}
+}
+
+// TestSnapshotDeterminism builds the same registry twice and requires
+// byte-identical JSON.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		for _, name := range []string{"z.last", "a.first", "m.middle"} {
+			r.Counter(name).Add(7)
+			r.Gauge("g." + name).Set(3)
+			r.Timer("t." + name).Observe(5 * time.Millisecond)
+		}
+		return r
+	}
+	var w1, w2 strings.Builder
+	if err := build().WriteJSON(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+}
+
+// TestSnapshotGoldenSchema pins the exact JSON metrics schema: key order
+// (sorted), field names, and nanosecond timer fields. Consumers parsing
+// `lvpsim -metrics` output rely on this shape.
+func TestSnapshotGoldenSchema(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lvpt.hits").Add(42)
+	r.Counter("cvu.hits").Add(7)
+	r.Gauge("pool.busy").Set(3)
+	r.Gauge("pool.busy").Set(1)
+	tm := r.Timer("phase.trace")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(4 * time.Millisecond)
+
+	const want = `{
+  "counters": {
+    "cvu.hits": 7,
+    "lvpt.hits": 42
+  },
+  "gauges": {
+    "pool.busy": {
+      "value": 1,
+      "max": 3
+    }
+  },
+  "timers": {
+    "phase.trace": {
+      "count": 2,
+      "total_ns": 6000000,
+      "min_ns": 2000000,
+      "max_ns": 4000000,
+      "avg_ns": 3000000
+    }
+  }
+}
+`
+	var w strings.Builder
+	if err := r.WriteJSON(&w); err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", w.String(), want)
+	}
+}
+
+// TestNilRegistry checks that a nil registry and its nil handles are fully
+// usable no-ops, so instrumented code needs no guards.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Acquire()
+	r.Gauge("y").Release()
+	r.Timer("z").Observe(time.Second)
+	r.Timer("z").Start()()
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Timers) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	var w strings.Builder
+	if err := r.WriteJSON(&w); err != nil {
+		t.Fatal(err)
+	}
+	r.Publish("nil-registry") // must not panic or publish
+}

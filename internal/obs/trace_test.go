@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseChannels(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Channel
+		err  bool
+	}{
+		{"", ChanNone, false},
+		{"none", ChanNone, false},
+		{"lvpt", ChanLVPT, false},
+		{"lvpt,cvu", ChanLVPT | ChanCVU, false},
+		{" lct , sim ", ChanLCT | ChanSim, false},
+		{"all", ChanAll, false},
+		{"cache,pipeline", ChanCache | ChanPipeline, false},
+		{"bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseChannels(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseChannels(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseChannels(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	if got := (ChanLVPT | ChanCVU).String(); got != "lvpt,cvu" {
+		t.Errorf("String() = %q, want %q", got, "lvpt,cvu")
+	}
+	if got := ChanNone.String(); got != "none" {
+		t.Errorf("String() = %q, want %q", got, "none")
+	}
+}
+
+// TestDisabledChannelZeroEmission is the satellite gate: with a channel off,
+// Emit must write nothing at all.
+func TestDisabledChannelZeroEmission(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, ChanLVPT)
+	tr.Emit(ChanCVU, "insert", slog.Int("index", 3))
+	tr.Emit(ChanSim, "squash")
+	if buf.Len() != 0 {
+		t.Errorf("disabled channels emitted %d bytes: %q", buf.Len(), buf.String())
+	}
+	tr.Emit(ChanLVPT, "load")
+	if buf.Len() == 0 {
+		t.Error("enabled channel emitted nothing")
+	}
+}
+
+// TestNilTracer checks the permanently-disabled nil tracer is safe to use.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(ChanLVPT) {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(ChanLVPT, "load") // must not panic
+	if NewTracer(&bytes.Buffer{}, 0) != nil {
+		t.Error("NewTracer with empty mask should return nil")
+	}
+}
+
+// TestEmitJSONL checks every emitted line is a standalone JSON object with
+// the event name and channel tag, and no time/level noise.
+func TestEmitJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, ChanLVPT|ChanCVU)
+	tr.Emit(ChanLVPT, "load", slog.String("pc", "0x1000"), slog.Bool("correct", true))
+	tr.Emit(ChanCVU, "insert", slog.Int("index", 5))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if first["msg"] != "load" || first["chan"] != "lvpt" || first["pc"] != "0x1000" || first["correct"] != true {
+		t.Errorf("unexpected event payload: %v", first)
+	}
+	if _, ok := first["time"]; ok {
+		t.Error("event carries a time field; records should be lean")
+	}
+	if _, ok := first["level"]; ok {
+		t.Error("event carries a level field; records should be lean")
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if second["msg"] != "insert" || second["chan"] != "cvu" || second["index"] != float64(5) {
+		t.Errorf("unexpected event payload: %v", second)
+	}
+}
+
+// TestConcurrentEmit races 64 emitters into one tracer and checks every
+// line survives intact (slog handlers serialize writes).
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, ChanSim)
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Emit(ChanSim, "event", slog.Int("g", g), slog.Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("corrupt line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 64*50 {
+		t.Errorf("got %d events, want %d", n, 64*50)
+	}
+}

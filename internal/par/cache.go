@@ -10,8 +10,32 @@ import "sync"
 //
 // The zero value is ready to use.
 type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*flight[V]
+	mu   sync.Mutex
+	m    map[K]*flight[V]
+	gets int64
+	hits int64
+}
+
+// CacheStats is a snapshot of a cache's traffic: total Get calls, the
+// subset that found an existing (or in-flight) entry, and the number of
+// distinct keys. Gets - Hits is the number of builds started — with
+// single-flight coalescing it equals Entries, which is exactly what the
+// suite's single-flight tests assert.
+type CacheStats struct {
+	Gets    int64
+	Hits    int64
+	Entries int
+}
+
+// Builds is the number of build functions started (cache misses).
+func (s CacheStats) Builds() int64 { return s.Gets - s.Hits }
+
+// HitRate is Hits per Get.
+func (s CacheStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
 }
 
 type flight[V any] struct {
@@ -29,8 +53,10 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	if c.m == nil {
 		c.m = make(map[K]*flight[V])
 	}
+	c.gets++
 	f, ok := c.m[key]
 	if ok {
+		c.hits++
 		c.mu.Unlock()
 		<-f.done
 		return f.v, f.err
@@ -49,4 +75,11 @@ func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats reports the cache's traffic counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Gets: c.gets, Hits: c.hits, Entries: len(c.m)}
 }

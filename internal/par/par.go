@@ -66,6 +66,14 @@ func (p *Pool) Wait() error {
 	return p.err
 }
 
+// Meter observes worker occupancy: Acquire when a task starts running,
+// Release when it finishes. Implementations must be safe for concurrent use
+// (obs.Gauge satisfies this, tracking busy count and high-water mark).
+type Meter interface {
+	Acquire()
+	Release()
+}
+
 // ForEach runs fn(i) for every i in [0, n) on a bounded pool of `workers`
 // goroutines (<= 0 selects DefaultWorkers) and waits for all of them.
 //
@@ -73,6 +81,12 @@ func (p *Pool) Wait() error {
 // non-nil error with the lowest index — so the error path, like the success
 // path, is independent of scheduling order.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachMeter(workers, n, nil, fn)
+}
+
+// ForEachMeter is ForEach with an occupancy meter observing how many tasks
+// are running at once; m == nil meters nothing.
+func ForEachMeter(workers, n int, m Meter, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -88,6 +102,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if m != nil {
+				m.Acquire()
+				defer m.Release()
+			}
 			errs[i] = fn(i)
 		}(i)
 	}

@@ -1,9 +1,13 @@
 package ppc620
 
 import (
+	"fmt"
+	"log/slog"
+
 	"lvp/internal/bpred"
 	"lvp/internal/cache"
 	"lvp/internal/isa"
+	"lvp/internal/obs"
 	"lvp/internal/trace"
 )
 
@@ -65,12 +69,21 @@ type machine struct {
 
 	bankRing [16][8]uint8 // future L1 bank usage, ring-indexed by cycle
 
+	otr *obs.Tracer // sim-channel event tracer (nil = off)
+
 	stats Stats
 }
 
 // Simulate runs the trace through the machine model. ann may be nil (no LVP
 // unit); lvpName labels the run in the stats.
 func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string) Stats {
+	return SimulateObs(tr, ann, cfg, lvpName, nil)
+}
+
+// SimulateObs is Simulate with an event tracer: machine incidents (alias
+// refetches, MSHR stalls, bank conflicts) on the sim channel, L1 misses on
+// the cache channel. obsTr == nil is exactly Simulate.
+func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string, obsTr *obs.Tracer) Stats {
 	m := &machine{
 		cfg: cfg,
 		tr:  tr,
@@ -79,9 +92,11 @@ func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string)
 			L1:        cache.MustNew(cfg.L1),
 			L2:        cache.MustNew(cfg.L2),
 			L1Latency: cfg.L1Latency, L2Latency: cfg.L2Latency, MemLatency: cfg.MemLatency,
+			Tracer: obsTr,
 		},
 		bp:              bpred.New(bpred.Default620),
 		fetchStallEntry: -1,
+		otr:             obsTr,
 	}
 	for i := range m.lastWriterG {
 		m.lastWriterG[i] = -1
@@ -525,6 +540,13 @@ func (m *machine) executeLoad(i, cycle int) {
 			avail = cycle + aliasRefetchPenalty + m.cfg.L1Latency
 		}
 		m.stats.AliasRefetches++
+		if m.otr.Enabled(obs.ChanSim) {
+			m.otr.Emit(obs.ChanSim, "alias-refetch",
+				slog.String("pc", fmt.Sprintf("%#x", e.rec.PC)),
+				slog.String("addr", fmt.Sprintf("%#x", e.rec.Addr)),
+				slog.String("store_pc", fmt.Sprintf("%#x", st.rec.PC)),
+				slog.Int("cycle", cycle))
+		}
 		e.doneC = avail
 		m.finishLoad(e, cycle)
 		return
@@ -593,6 +615,11 @@ func (m *machine) allocMSHR(start, latency int) (done int) {
 			}
 		}
 		m.stats.MSHRStalls++
+		if m.otr.Enabled(obs.ChanSim) {
+			m.otr.Emit(obs.ChanSim, "mshr-stall",
+				slog.Int("cycle", start),
+				slog.Int("deferred_to", earliest))
+		}
 		start = earliest
 	}
 	done = start - 1 + latency
@@ -673,6 +700,9 @@ func (m *machine) noteConflict(cycle int) {
 	if cycle != m.lastConflictCycle {
 		m.stats.BankConflictCycles++
 		m.lastConflictCycle = cycle
+	}
+	if m.otr.Enabled(obs.ChanSim) {
+		m.otr.Emit(obs.ChanSim, "bank-conflict", slog.Int("cycle", cycle))
 	}
 }
 

@@ -46,12 +46,12 @@ func FuzzRoundTrip(f *testing.F) {
 	valid := encodeTrace(fuzzSeedTrace())
 	f.Add(valid)
 	f.Add(encodeTrace(&Trace{Name: "empty", Target: "axp"}))
-	f.Add([]byte{})                         // no magic
-	f.Add([]byte("VLT0"))                   // wrong magic
-	f.Add([]byte("VLT1"))                   // magic only
-	f.Add(valid[:len(valid)-3])             // truncated mid-record
+	f.Add([]byte{})                                                                           // no magic
+	f.Add([]byte("VLT0"))                                                                     // wrong magic
+	f.Add([]byte("VLT1"))                                                                     // magic only
+	f.Add(valid[:len(valid)-3])                                                               // truncated mid-record
 	f.Add(append([]byte("VLT1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)) // huge name length
-	f.Add(append(bytes.Clone(valid), 0xAA)) // trailing garbage (ignored)
+	f.Add(append(bytes.Clone(valid), 0xAA))                                                   // trailing garbage (ignored)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
