@@ -6,12 +6,13 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs serve check-serve verify clean
 
 all: build
 
 build:
 	$(GO) build ./...
+	$(GO) build -o bin/lvpd ./cmd/lvpd
 
 test:
 	$(GO) test ./...
@@ -56,7 +57,18 @@ bench:
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkAnnotate' -benchtime 2s -count 3 .
 
+# Run the experiment daemon locally (see SERVING.md for the API).
+serve:
+	$(GO) run ./cmd/lvpd -addr :8347
+
+# Serving-layer gate: the lvpd job manager, HTTP API, and client — including
+# the byte-identity, drain, backpressure, and cancellation tests — under the
+# race detector.
+check-serve:
+	$(GO) test -race -count=1 ./internal/serve/ ./client/
+
 verify: check
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -20,17 +20,23 @@ import (
 	"lvp/internal/ppc620"
 	"lvp/internal/prog"
 	"lvp/internal/trace"
+	"lvp/internal/version"
 	"lvp/internal/vm"
 )
 
 func main() {
 	var (
-		target   = flag.String("target", "ppc", "codegen target: ppc or axp")
-		analyze  = flag.Bool("analyze", false, "report locality and LVP behaviour")
-		traceOut = flag.String("trace", "", "write the binary trace to this file")
-		maxSteps = flag.Int("maxsteps", 50_000_000, "execution step budget")
+		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
+		analyze     = flag.Bool("analyze", false, "report locality and LVP behaviour")
+		traceOut    = flag.String("trace", "", "write the binary trace to this file")
+		maxSteps    = flag.Int("maxsteps", 50_000_000, "execution step budget")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lvpasm"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lvpasm [flags] <prog.s>")
 		os.Exit(2)

@@ -18,16 +18,22 @@ import (
 	"lvp/internal/bench"
 	"lvp/internal/isa"
 	"lvp/internal/prog"
+	"lvp/internal/version"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark to dump")
-		asmFile   = flag.String("asm", "", "assembly file to dump instead")
-		target    = flag.String("target", "ppc", "codegen target: ppc or axp")
-		scale     = flag.Int("scale", 1, "benchmark scale")
+		benchName   = flag.String("bench", "", "benchmark to dump")
+		asmFile     = flag.String("asm", "", "assembly file to dump instead")
+		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
+		scale       = flag.Int("scale", 1, "benchmark scale")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lvpdump"))
+		return
+	}
 
 	tg, err := prog.TargetByName(*target)
 	if err != nil {

@@ -21,6 +21,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -32,23 +34,30 @@ import (
 	"lvp/internal/exp"
 	"lvp/internal/obs"
 	"lvp/internal/report"
+	"lvp/internal/version"
 )
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
-		scale     = flag.Int("scale", 1, "benchmark run-length multiplier")
-		parallel  = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		timing    = flag.Bool("time", false, "print wall time per experiment")
-		format    = flag.String("format", "text", "output format: text or csv")
-		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
-		traceFlag = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline or 'all')")
-		traceOut  = flag.String("trace-out", "", "write trace events (JSONL) to this file (default stderr)")
-		progress  = flag.Bool("progress", false, "print a live cell-completion line on stderr")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address while running")
+		expFlag     = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
+		scale       = flag.Int("scale", 1, "benchmark run-length multiplier")
+		parallel    = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		timing      = flag.Bool("time", false, "print wall time per experiment")
+		format      = flag.String("format", "text", "output format: text or csv")
+		metrics     = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		traceFlag   = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline or 'all')")
+		traceOut    = flag.String("trace-out", "", "write trace events (JSONL) to this file (default stderr)")
+		progress    = flag.Bool("progress", false, "print a live cell-completion line on stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address while running")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0 = no limit)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lvpsim"))
+		return
+	}
 	switch *format {
 	case "text":
 	case "csv":
@@ -85,6 +94,14 @@ func main() {
 	}
 
 	s := exp.NewSuiteParallel(*scale, *parallel)
+
+	// Wall-clock budget: run every experiment under a deadline context; on
+	// expiry the engine stops at the next cell boundary and we exit non-zero.
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		s = s.WithContext(ctx)
+	}
 
 	// Structured event tracing: parse channels, open the sink.
 	if *traceFlag != "" {
@@ -131,7 +148,11 @@ func main() {
 		s.Metrics.Timer("exp." + e.Name).Observe(time.Since(expStart))
 		if err != nil {
 			stopProgress()
-			fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.Name, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "lvpsim: %s: run cancelled: -timeout %v exceeded\n", e.Name, *timeout)
+			} else {
+				fmt.Fprintf(os.Stderr, "lvpsim: %s: %v\n", e.Name, err)
+			}
 			os.Exit(1)
 		}
 		if *timing {

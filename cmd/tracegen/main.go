@@ -16,18 +16,24 @@ import (
 	"lvp/internal/bench"
 	"lvp/internal/prog"
 	"lvp/internal/trace"
+	"lvp/internal/version"
 	"lvp/internal/vm"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark name (see -list)")
-		target    = flag.String("target", "ppc", "codegen target: ppc or axp")
-		scale     = flag.Int("scale", 1, "run-length multiplier")
-		out       = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		benchName   = flag.String("bench", "", "benchmark name (see -list)")
+		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
+		scale       = flag.Int("scale", 1, "run-length multiplier")
+		out         = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("tracegen"))
+		return
+	}
 
 	if *list {
 		for _, b := range bench.All() {

@@ -18,10 +18,16 @@ import (
 	"lvp/internal/report"
 	"lvp/internal/stats"
 	"lvp/internal/trace"
+	"lvp/internal/version"
 )
 
 func main() {
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("traceinfo"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: traceinfo <file.vlt>")
 		os.Exit(2)

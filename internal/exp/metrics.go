@@ -29,11 +29,12 @@ type SuiteCacheStats struct {
 
 // CacheStats snapshots the suite's cache traffic.
 func (s *Suite) CacheStats() SuiteCacheStats {
+	c := s.cacheState()
 	return SuiteCacheStats{
-		Traces:      s.traces.Stats(),
-		Annotations: s.anns.Stats(),
-		Sims620:     s.s620.Stats(),
-		Sims21164:   s.s164.Stats(),
+		Traces:      c.traces.Stats(),
+		Annotations: c.anns.Stats(),
+		Sims620:     c.s620.Stats(),
+		Sims21164:   c.s164.Stats(),
 	}
 }
 

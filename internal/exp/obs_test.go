@@ -137,10 +137,10 @@ func TestSuiteTracerEmitsJSONL(t *testing.T) {
 	}
 }
 
-// TestNilMetricsSuite checks a zero-value Suite (no registry, no tracer)
-// still runs every phase: instrumentation must never be load-bearing.
+// TestNilMetricsSuite checks a bare Suite (no registry, no tracer) still
+// runs every phase: instrumentation must never be load-bearing.
 func TestNilMetricsSuite(t *testing.T) {
-	s := &Suite{Scale: 1, MaxSteps: 200_000_000}
+	s := &Suite{Scale: 1, MaxSteps: 200_000_000, caches: &suiteCaches{}}
 	if _, _, err := s.Annotation("quick", prog.AXP, lvp.Simple); err != nil {
 		t.Fatal(err)
 	}

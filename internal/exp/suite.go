@@ -22,6 +22,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"time"
@@ -98,6 +99,20 @@ type Suite struct {
 	// what is emitted alongside it.
 	Tracer *obs.Tracer
 
+	// ctx, when non-nil, cancels the suite's fan-outs and cache builds;
+	// nil means Background. Set via WithContext so several views of one
+	// suite (sharing caches) can run under different lifetimes.
+	ctx context.Context
+
+	// caches is shared by every WithContext view of the suite, so
+	// traces, annotations and simulations are built once across all
+	// concurrent jobs regardless of which view requested them.
+	caches *suiteCaches
+}
+
+// suiteCaches is the shared single-flight memo state behind a Suite and all
+// of its WithContext views.
+type suiteCaches struct {
 	traces par.Cache[traceKey, *trace.Trace]
 	anns   par.Cache[annKey, annotated]
 	s620   par.Cache[sim620Key, ppc620.Stats]
@@ -122,7 +137,29 @@ func NewSuiteParallel(scale, workers int) *Suite {
 		MaxSteps: 200_000_000,
 		Workers:  workers,
 		Metrics:  obs.NewRegistry(),
+		caches:   &suiteCaches{},
 	}
+}
+
+// WithContext returns a view of the suite whose fan-outs and cache builds
+// are cancelled when ctx is done. The view shares the suite's caches,
+// metrics and tracer; only the lifetime differs, so concurrent jobs can run
+// the same suite under independent deadlines. Cancellation stops work
+// between cells (a cell already simulating runs to completion) and is
+// reported as ctx's error; cancelled builds are never cached
+// (par.Cache.GetCtx), so a later run under a live context recomputes them.
+func (s *Suite) WithContext(ctx context.Context) *Suite {
+	view := *s
+	view.ctx = ctx
+	return &view
+}
+
+// context resolves the suite's lifetime; nil means Background.
+func (s *Suite) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 // workers resolves the effective pool size.
@@ -133,10 +170,23 @@ func (s *Suite) workers() int {
 	return par.DefaultWorkers()
 }
 
+// cacheState resolves the shared memo state, guarding against Suites built
+// around NewSuite/NewSuiteParallel.
+func (s *Suite) cacheState() *suiteCaches {
+	if s.caches == nil {
+		panic("exp: Suite must be created with NewSuite or NewSuiteParallel")
+	}
+	return s.caches
+}
+
 // Trace builds (or returns the cached) trace for one benchmark and target.
 // Concurrent callers for the same trace share a single build.
 func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
-	return s.traces.Get(traceKey{name, target.Name, s.Scale}, func() (*trace.Trace, error) {
+	ctx := s.context()
+	return s.cacheState().traces.GetCtx(ctx, traceKey{name, target.Name, s.Scale}, func() (*trace.Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		bm, err := bench.ByName(name)
 		if err != nil {
@@ -176,9 +226,13 @@ func (s *Suite) finishPhase(phase string, start time.Time, attrs ...slog.Attr) {
 // benchmark/target/config. The LVP Unit runs exactly once per key across
 // all concurrent consumers.
 func (s *Suite) Annotation(name string, target prog.Target, cfg lvp.Config) (trace.Annotation, lvp.Stats, error) {
-	r, err := s.anns.Get(annKey{name, target.Name, s.Scale, cfg}, func() (annotated, error) {
+	ctx := s.context()
+	r, err := s.cacheState().anns.GetCtx(ctx, annKey{name, target.Name, s.Scale, cfg}, func() (annotated, error) {
 		t, err := s.Trace(name, target)
 		if err != nil {
+			return annotated{}, err
+		}
+		if err := ctx.Err(); err != nil {
 			return annotated{}, err
 		}
 		start := time.Now()
@@ -210,7 +264,8 @@ func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, e
 	if cfg != nil {
 		key.cfg = *cfg
 	}
-	return s.s620.Get(key, func() (ppc620.Stats, error) {
+	ctx := s.context()
+	return s.cacheState().s620.GetCtx(ctx, key, func() (ppc620.Stats, error) {
 		t, err := s.Trace(name, prog.PPC)
 		if err != nil {
 			return ppc620.Stats{}, err
@@ -223,6 +278,9 @@ func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, e
 			if err != nil {
 				return ppc620.Stats{}, err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return ppc620.Stats{}, err
 		}
 		mc := ppc620.Config620()
 		if plus {
@@ -245,7 +303,8 @@ func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
 	if cfg != nil {
 		key.cfg = *cfg
 	}
-	return s.s164.Get(key, func() (axp21164.Stats, error) {
+	ctx := s.context()
+	return s.cacheState().s164.GetCtx(ctx, key, func() (axp21164.Stats, error) {
 		t, err := s.Trace(name, prog.AXP)
 		if err != nil {
 			return axp21164.Stats{}, err
@@ -258,6 +317,9 @@ func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
 			if err != nil {
 				return axp21164.Stats{}, err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return axp21164.Stats{}, err
 		}
 		start := time.Now()
 		st := axp21164.SimulateObs(t, ann, axp21164.Config21164(), cfgName, s.Tracer)
@@ -287,7 +349,7 @@ func (s *Suite) forEachBenchIdx(fn func(i int, b bench.Benchmark) error) error {
 		// actually used.
 		meter = s.Metrics.Gauge("pool.busy")
 	}
-	return par.ForEachMeter(s.workers(), len(all), meter, func(i int) error {
+	return par.ForEachMeterCtx(s.context(), s.workers(), len(all), meter, func(i int) error {
 		return fn(i, all[i])
 	})
 }

@@ -1,12 +1,18 @@
 package par
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // Cache is a concurrency-safe, single-flight memo table: for each key the
 // build function runs exactly once, no matter how many goroutines ask for
 // the key concurrently; the rest block until the first build completes and
 // then share its result. Results (including errors — builds here are pure,
-// deterministic computations) are cached forever.
+// deterministic computations) are cached forever, with one exception: a
+// build that fails with a context error is evicted so cancellation never
+// poisons the table (see GetCtx).
 //
 // The zero value is ready to use.
 type Cache[K comparable, V any] struct {
@@ -49,6 +55,17 @@ type flight[V any] struct {
 // build runs without any cache lock held, so it may itself Get from other
 // caches (but must not re-enter the same key, which would deadlock).
 func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	return c.GetCtx(context.Background(), key, build)
+}
+
+// GetCtx is Get with cancellation. A waiter whose ctx fires stops waiting
+// and returns ctx's error; the in-flight build itself is unaffected (it
+// belongs to whichever caller started it). If build fails with a context
+// error — its own ctx was cancelled or timed out — the result is NOT cached:
+// the key is removed so a later caller rebuilds it, rather than a transient
+// cancellation poisoning the memo table forever. All other errors stay
+// cached, preserving the pure-deterministic-build contract.
+func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, build func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*flight[V])
@@ -58,15 +75,30 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	if ok {
 		c.hits++
 		c.mu.Unlock()
-		<-f.done
-		return f.v, f.err
+		select {
+		case <-f.done:
+			return f.v, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
 	}
 	f = &flight[V]{done: make(chan struct{})}
 	c.m[key] = f
 	c.mu.Unlock()
 
-	defer close(f.done)
 	f.v, f.err = build()
+	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+		// Evict before waking waiters: anyone already blocked on this
+		// flight shares the cancellation, but the next Get for the key
+		// starts a fresh build.
+		c.mu.Lock()
+		if c.m[key] == f {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	close(f.done)
 	return f.v, f.err
 }
 

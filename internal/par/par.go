@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -87,6 +88,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // ForEachMeter is ForEach with an occupancy meter observing how many tasks
 // are running at once; m == nil meters nothing.
 func ForEachMeter(workers, n int, m Meter, fn func(i int) error) error {
+	return ForEachMeterCtx(context.Background(), workers, n, m, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done no further
+// indices are launched (already-running tasks finish normally; fn observes
+// cancellation itself if it checks ctx). If every launched task succeeded
+// but some indices were skipped, it returns ctx's error.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachMeterCtx(ctx, workers, n, nil, fn)
+}
+
+// ForEachMeterCtx is ForEachCtx with an occupancy meter; m == nil meters
+// nothing. Error choice stays deterministic: the non-nil error with the
+// lowest index wins, and a context error is reported only when no launched
+// task failed first.
+func ForEachMeterCtx(ctx context.Context, workers, n int, m Meter, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -96,9 +113,26 @@ func ForEachMeter(workers, n int, m Meter, fn func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+	done := ctx.Done()
+	skipped := false
+launch:
 	for i := 0; i < n; i++ {
+		// Check cancellation before blocking on a worker slot, and
+		// again while waiting for one, so a cancelled fan-out stops
+		// submitting as soon as the context fires.
+		select {
+		case <-done:
+			skipped = true
+			break launch
+		default:
+		}
+		select {
+		case <-done:
+			skipped = true
+			break launch
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -114,6 +148,9 @@ func ForEachMeter(workers, n int, m Meter, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if skipped {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lvp/internal/exp"
+	"lvp/internal/obs"
+	"lvp/internal/par"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull to 429 + Retry-After
+// and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: server draining, not accepting jobs")
+	ErrNotFound  = errors.New("serve: no such job")
+)
+
+// Config tunes a Manager. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-not-started jobs
+	// (default 16). A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// Runners is the number of jobs executed concurrently (default 2).
+	Runners int
+	// Workers bounds each job's cell fan-out and its suite's internal
+	// pool; <= 0 selects the GOMAXPROCS default.
+	Workers int
+	// MaxScale caps JobSpec.Scale (default 8).
+	MaxScale int
+	// DefaultTimeout applies to jobs that don't set TimeoutMS
+	// (default 5m); MaxTimeout caps what a job may request (default 30m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the backoff hint returned with queue-full rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxSteps overrides the suites' functional-execution bound when > 0
+	// (tests use a small value; 0 keeps the engine default).
+	MaxSteps int
+	// Metrics receives serving and engine telemetry; nil allocates a
+	// fresh registry.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Runners <= 0 {
+		c.Runners = 2
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Manager owns the job queue and the per-scale experiment suites. Suites
+// (and therefore traces, annotations and simulations) are shared across
+// jobs: two jobs asking for the same cell trigger one build, courtesy of
+// the engine's single-flight caches.
+type Manager struct {
+	cfg     Config
+	metrics *obs.Registry
+
+	// baseCtx parents every job context; stopAll cancels it (hard stop
+	// after the drain deadline).
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup // runner goroutines
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for List
+	nextID   int
+	suites   map[int]*exp.Suite // keyed by scale
+	draining bool
+
+	// testJobStart, when non-nil, runs on the runner goroutine after a
+	// job is dequeued and before it executes. Tests use it to hold a
+	// runner busy deterministically (queue-full and drain scenarios).
+	// Set it before the first Submit; the channel handoff orders the
+	// runner's read after the write.
+	testJobStart func(*Job)
+}
+
+// NewManager starts a manager with cfg.Runners runner goroutines.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		baseCtx: ctx,
+		stopAll: cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+		suites:  map[int]*exp.Suite{},
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Metrics returns the manager's registry.
+func (m *Manager) Metrics() *obs.Registry { return m.metrics }
+
+// RetryAfter is the backoff hint for queue-full rejections.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Draining reports whether Shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// suite returns the shared suite for one scale, creating it on first use.
+func (m *Manager) suiteLocked(scale int) *exp.Suite {
+	s := m.suites[scale]
+	if s == nil {
+		s = exp.NewSuiteParallel(scale, m.cfg.Workers)
+		if m.cfg.MaxSteps > 0 {
+			s.MaxSteps = m.cfg.MaxSteps
+		}
+		// All suites report into the manager's registry so /metrics is
+		// one snapshot across every scale.
+		s.Metrics = m.metrics
+		m.suites[scale] = s
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull immediately (the backpressure contract), a draining
+// manager returns ErrDraining.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		m.metrics.Counter("serve.jobs.invalid").Inc()
+		return nil, err
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 1
+	}
+	if spec.Scale > m.cfg.MaxScale {
+		m.metrics.Counter("serve.jobs.invalid").Inc()
+		return nil, fmt.Errorf("serve: scale %d exceeds maximum %d", spec.Scale, m.cfg.MaxScale)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.metrics.Counter("serve.jobs.rejected_draining").Inc()
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job := newJob(fmt.Sprintf("job-%06d", m.nextID), spec, spec.Cells(), time.Now())
+	select {
+	case m.queue <- job:
+	default:
+		m.nextID--
+		m.metrics.Counter("serve.jobs.rejected_full").Inc()
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.metrics.Counter("serve.jobs.submitted").Inc()
+	m.metrics.Gauge("serve.queue.depth").Set(int64(len(m.queue)))
+	return job, nil
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List snapshots every job in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	jobs := make([]*Job, len(order))
+	for i, id := range order {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job finishes as cancelled without
+// running; a running job's context is cancelled and it stops at the next
+// cell boundary. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.cancelled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	m.metrics.Counter("serve.jobs.cancel_requests").Inc()
+	return nil
+}
+
+// Shutdown drains: no new submissions, queued and running jobs finish
+// normally. If ctx fires first every remaining job is cancelled, the exit
+// is awaited, and ctx's error returned.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.stopAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runner executes queued jobs until the queue is closed and drained.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.metrics.Gauge("serve.queue.depth").Set(int64(len(m.queue)))
+		if m.testJobStart != nil {
+			m.testJobStart(job)
+		}
+		m.runJob(job)
+	}
+}
+
+// jobTimeout resolves one job's wall-clock bound.
+func (m *Manager) jobTimeout(spec JobSpec) time.Duration {
+	d := m.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		d = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	return min(d, m.cfg.MaxTimeout)
+}
+
+// runJob executes every cell of one job on the shared suite under the
+// job's own context, then moves the job to its terminal state.
+func (m *Manager) runJob(job *Job) {
+	m.mu.Lock()
+	suite := m.suiteLocked(job.Spec.Scale)
+	m.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(m.baseCtx, m.jobTimeout(job.Spec))
+	defer cancel()
+
+	job.mu.Lock()
+	if job.cancelled {
+		// Cancelled while queued: never ran.
+		job.state = StateCancelled
+		job.errMsg = "cancelled before start"
+		job.finished = time.Now()
+		job.mu.Unlock()
+		close(job.done)
+		m.metrics.Counter("serve.jobs.cancelled").Inc()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	m.metrics.Gauge("serve.jobs.running").Acquire()
+	defer m.metrics.Gauge("serve.jobs.running").Release()
+
+	view := suite.WithContext(ctx)
+	stop := m.metrics.Timer("serve.job.wall").Start()
+	err := par.ForEachCtx(ctx, m.cfg.Workers, len(job.Cells), func(i int) error {
+		res, cerr := computeCell(view, job.Cells[i])
+		job.setOutcome(i, res, cerr)
+		if cerr != nil {
+			m.metrics.Counter("serve.cells.failed").Inc()
+			return fmt.Errorf("cell %d (%s): %w", i, job.Cells[i], cerr)
+		}
+		m.metrics.Counter("serve.cells.done").Inc()
+		return nil
+	})
+	stop()
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	switch {
+	case job.cancelled:
+		job.state = StateCancelled
+		job.errMsg = "cancelled"
+		m.metrics.Counter("serve.jobs.cancelled").Inc()
+	case err != nil && errors.Is(err, context.DeadlineExceeded):
+		job.state = StateFailed
+		job.errMsg = fmt.Sprintf("timeout after %v", m.jobTimeout(job.Spec))
+		m.metrics.Counter("serve.jobs.failed").Inc()
+	case err != nil:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+		m.metrics.Counter("serve.jobs.failed").Inc()
+	default:
+		job.state = StateDone
+		m.metrics.Counter("serve.jobs.completed").Inc()
+	}
+	job.mu.Unlock()
+	close(job.done)
+}
+
+// FinalizeMetrics flushes suite cache-traffic gauges into the registry so
+// a /metrics snapshot carries cache hit rates. Suites are visited in scale
+// order; with several scales live the highest scale's numbers win the
+// shared gauge names, which is deterministic if not exhaustive.
+func (m *Manager) FinalizeMetrics() {
+	m.mu.Lock()
+	scales := make([]int, 0, len(m.suites))
+	for scale := range m.suites {
+		scales = append(scales, scale)
+	}
+	suites := make([]*exp.Suite, len(scales))
+	sort.Ints(scales)
+	for i, scale := range scales {
+		suites[i] = m.suites[scale]
+	}
+	m.mu.Unlock()
+	for _, s := range suites {
+		s.FinalizeMetrics()
+	}
+}

@@ -1,0 +1,49 @@
+// Package version renders a -version string for the repo's binaries from
+// the build metadata the Go toolchain embeds (module version, VCS revision,
+// toolchain) — no ldflags stamping required.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders "name version (revision, go1.xx)" for the named binary.
+func String(name string) string {
+	version, revision, goVersion := "devel", "", ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" && info.Main.Version != "(devel)" {
+			version = info.Main.Version
+		}
+		goVersion = info.GoVersion
+		var rev, modified string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			revision = rev + modified
+		}
+	}
+	var extra []string
+	if revision != "" {
+		extra = append(extra, revision)
+	}
+	if goVersion != "" {
+		extra = append(extra, goVersion)
+	}
+	if len(extra) == 0 {
+		return fmt.Sprintf("%s %s", name, version)
+	}
+	return fmt.Sprintf("%s %s (%s)", name, version, strings.Join(extra, ", "))
+}
