@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs serve check-serve verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream check-stream serve check-serve verify clean
 
 all: build
 
@@ -42,9 +42,11 @@ race:
 race-full:
 	$(GO) test -race -timeout 30m ./...
 
-# Short fuzz session over the trace codec round-trip property.
+# Short fuzz sessions over the trace codec: the whole-trace round-trip
+# property and the streaming Reader/Writer round-trip property.
 fuzz:
-	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz='FuzzRoundTrip$$' -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz='FuzzStreamRoundTrip$$' -fuzztime=30s ./internal/trace/
 
 # Experiment-engine benchmarks: compare ExpAllSerial vs ExpAllParallel for
 # the worker-pool speedup.
@@ -56,6 +58,20 @@ bench:
 # OBSERVABILITY.md.
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkAnnotate' -benchtime 2s -count 3 .
+
+# Streaming-layer benchmarks: record-at-a-time decode/encode vs the
+# whole-trace codec, and a full streamed gen→annotate→sim cell vs the
+# materialized pipeline.
+bench-stream:
+	$(GO) test -run xxx -bench 'Stream|MemDecode|MemEncode|MemPipeline' -benchtime 1s ./internal/trace/ ./internal/exp/
+
+# Streaming memory/identity gate, run standalone (uncached): the
+# allocation-regression tests (0 allocs/record on the Reader/Writer/LVP hot
+# paths), the 10M-record peak-RSS bound, and the per-workload differential
+# between the streamed and in-memory pipelines. All of these also run as
+# part of plain `make test` / `make check`.
+check-stream:
+	$(GO) test -count=1 -run 'AllocFree|TestStreamRSS|TestStreamDifferential|TestAnnotatorMatchesAnnotate|TestReaderMatchesRead' ./internal/trace/ ./internal/lvp/ ./internal/exp/
 
 # Run the experiment daemon locally (see SERVING.md for the API).
 serve:

@@ -1,16 +1,20 @@
 // Command lvpdump disassembles a built benchmark (or an assembled .s file):
 // the code listing with labels resolved, plus the data-symbol map. A
-// debugging aid for workload authors.
+// debugging aid for workload authors. With -trace it instead dumps the
+// records of a VLT1 trace file through the streaming reader, so arbitrarily
+// large traces dump in O(1) memory.
 //
 // Usage:
 //
 //	lvpdump -bench grep -target ppc | less
 //	lvpdump -asm prog.s
+//	lvpdump -trace grep.ppc.vlt | head
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,6 +22,7 @@ import (
 	"lvp/internal/bench"
 	"lvp/internal/isa"
 	"lvp/internal/prog"
+	"lvp/internal/trace"
 	"lvp/internal/version"
 )
 
@@ -25,6 +30,7 @@ func main() {
 	var (
 		benchName   = flag.String("bench", "", "benchmark to dump")
 		asmFile     = flag.String("asm", "", "assembly file to dump instead")
+		traceFile   = flag.String("trace", "", "VLT1 trace file to dump records from (streaming)")
 		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
 		scale       = flag.Int("scale", 1, "benchmark scale")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -32,6 +38,13 @@ func main() {
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("lvpdump"))
+		return
+	}
+
+	if *traceFile != "" {
+		if err := dumpTrace(*traceFile); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -93,6 +106,40 @@ func main() {
 	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
 	for _, s := range syms {
 		fmt.Printf("  %06x  %s\n", s.addr, s.name)
+	}
+}
+
+// dumpTrace streams the records of a VLT1 file to stdout, one line per
+// record, without materializing the trace.
+func dumpTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("; trace %s/%s, %d records\n", sr.Name(), sr.Target(), sr.Count())
+	for i := 0; ; i++ {
+		r, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d  %06x  %-28s", i, r.PC, r.Inst().String())
+		switch {
+		case r.IsLoad():
+			fmt.Printf("  addr=%#x val=%#x", r.Addr, r.Value)
+		case r.IsStore():
+			fmt.Printf("  addr=%#x val=%#x", r.Addr, r.Value)
+		case r.IsBranch():
+			fmt.Printf("  taken=%t targ=%06x", r.Taken, r.Targ)
+		}
+		fmt.Println()
 	}
 }
 

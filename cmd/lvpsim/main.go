@@ -6,6 +6,7 @@
 //	lvpsim -exp all            # every table and figure
 //	lvpsim -exp all -parallel 8  # same output, 8 experiment workers
 //	lvpsim -exp fig6 -scale 2  # one experiment at double run length
+//	lvpsim -exp fig6 -stream   # simulation cells stream in bounded memory
 //	lvpsim -list               # list experiment names
 //
 // Experiment cells (benchmark × target × config × machine) run on a bounded
@@ -42,6 +43,7 @@ func main() {
 		expFlag     = flag.String("exp", "all", "experiment to run (see -list), or comma-separated set, or 'all' / 'paper'")
 		scale       = flag.Int("scale", 1, "benchmark run-length multiplier")
 		parallel    = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		stream      = flag.Bool("stream", false, "run simulation cells as streaming gen→annotate→sim pipelines (bounded memory); output is identical")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		timing      = flag.Bool("time", false, "print wall time per experiment")
 		format      = flag.String("format", "text", "output format: text or csv")
@@ -94,6 +96,7 @@ func main() {
 	}
 
 	s := exp.NewSuiteParallel(*scale, *parallel)
+	s.Stream = *stream
 
 	// Wall-clock budget: run every experiment under a deadline context; on
 	// expiry the engine stops at the next cell boundary and we exit non-zero.

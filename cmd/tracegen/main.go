@@ -5,12 +5,14 @@
 // Usage:
 //
 //	tracegen -bench grep -target ppc -scale 1 -o grep.ppc.vlt
+//	tracegen -bench grep -target ppc -stream -o grep.ppc.vlt   # bounded memory
 //	tracegen -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lvp/internal/bench"
@@ -26,6 +28,7 @@ func main() {
 		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
 		scale       = flag.Int("scale", 1, "run-length multiplier")
 		out         = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
+		stream      = flag.Bool("stream", false, "stream records to the output as the VM executes (bounded memory)")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -57,10 +60,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	t, res, err := vm.Run(p, 0)
-	if err != nil {
-		fatal(err)
-	}
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("%s.%s.vlt", *benchName, tg.Name)
@@ -69,16 +68,60 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := trace.Write(f, t); err != nil {
+	var sum trace.Summary
+	var outputs int
+	if *stream {
+		// Stream each record to disk as the VM retires it: memory stays
+		// bounded by the encoder's buffer regardless of run length. The
+		// record count is backpatched into the header at Close.
+		sum, outputs, err = streamTrace(f, p)
+	} else {
+		var t *trace.Trace
+		var res *vm.Result
+		t, res, err = vm.Run(p, 0)
+		if err == nil {
+			err = trace.Write(f, t)
+			sum = t.Summarize()
+			outputs = len(res.Output)
+		}
+	}
+	if err != nil {
 		f.Close()
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	sum := t.Summarize()
 	fmt.Printf("wrote %s: %d instructions, %d loads, %d outputs\n",
-		path, sum.Instructions, sum.Loads, len(res.Output))
+		path, sum.Instructions, sum.Loads, outputs)
+}
+
+// streamTrace executes p, encoding each retired record into w on the fly,
+// and returns the streaming summary plus the program's output count.
+func streamTrace(w *os.File, p *prog.Program) (trace.Summary, int, error) {
+	src := vm.NewSource(p, 0)
+	sw, err := trace.NewWriter(w, p.Name, p.Target.Name)
+	if err != nil {
+		return trace.Summary{}, 0, err
+	}
+	z := trace.NewSummarizer(p.Name, p.Target.Name)
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return trace.Summary{}, 0, err
+		}
+		if err := sw.WriteRecord(r); err != nil {
+			return trace.Summary{}, 0, err
+		}
+		z.Add(r)
+	}
+	if err := sw.Close(); err != nil {
+		return trace.Summary{}, 0, err
+	}
+	return z.Summary(), len(src.Result().Output), nil
 }
 
 func fatal(err error) {

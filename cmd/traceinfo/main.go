@@ -2,6 +2,10 @@
 // load-class breakdown, value locality at depths 1 and 16, and LVP unit
 // behaviour under the paper's configurations.
 //
+// The file is processed in one streaming pass (trace.Reader): every table's
+// accumulator consumes each record as it is decoded, so summarising a
+// multi-gigabyte trace needs O(1) memory.
+//
 // Usage:
 //
 //	traceinfo grep.ppc.vlt
@@ -10,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lvp/internal/isa"
@@ -37,14 +42,38 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	t, err := trace.Read(f)
+	sr, err := trace.NewReader(f)
 	if err != nil {
 		fatal(err)
 	}
-	sum := t.Summarize()
+
+	// One pass, every accumulator fed per record.
+	z := trace.NewSummarizer(sr.Name(), sr.Target())
+	meter := locality.NewMeter(locality.DefaultEntries, 1, 16)
+	anns := make([]*lvp.Annotator, len(lvp.Configs))
+	for i, cfg := range lvp.Configs {
+		if anns[i], err = lvp.NewAnnotator(cfg, nil); err != nil {
+			fatal(err)
+		}
+	}
+	for {
+		r, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		z.Add(r)
+		meter.Add(r)
+		for _, a := range anns {
+			a.Record(r)
+		}
+	}
+	sum := z.Summary()
 
 	mix := report.Table{
-		Title:   fmt.Sprintf("Trace %s/%s", t.Name, t.Target),
+		Title:   fmt.Sprintf("Trace %s/%s", sr.Name(), sr.Target()),
 		Columns: []string{"Metric", "Value"},
 	}
 	mix.AddRow("instructions", sum.Instructions)
@@ -57,12 +86,11 @@ func main() {
 	}
 	mix.Render(os.Stdout)
 
-	loc := locality.Measure(t, locality.DefaultEntries, 1, 16)
 	lt := report.Table{
 		Title:   "Value locality",
 		Columns: []string{"Depth", "Overall", "FP", "Int", "InstAddr", "DataAddr"},
 	}
-	for _, r := range loc {
+	for _, r := range meter.Results() {
 		lt.AddRow(r.Depth,
 			stats.Pct(r.Overall.Percent()/100, 1),
 			stats.Pct(r.ByClass[isa.LoadFPData].Percent()/100, 1),
@@ -76,11 +104,8 @@ func main() {
 		Title:   "LVP unit behaviour",
 		Columns: []string{"Config", "Coverage", "Accuracy", "Constants"},
 	}
-	for _, cfg := range lvp.Configs {
-		_, st, err := lvp.Annotate(t, cfg)
-		if err != nil {
-			fatal(err)
-		}
+	for i, cfg := range lvp.Configs {
+		st := anns[i].Stats()
 		ut.AddRow(cfg.Name, stats.Pct(st.Coverage(), 1),
 			stats.Pct(st.Accuracy(), 1), stats.Pct(st.ConstantRate(), 1))
 	}

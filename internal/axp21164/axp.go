@@ -16,6 +16,7 @@ package axp21164
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 
 	"lvp/internal/bpred"
@@ -138,7 +139,28 @@ func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string)
 // SimulateObs is Simulate with an event tracer: value-misprediction
 // squashes and cancelled predictions on the sim channel, L1 misses on the
 // cache channel. obsTr == nil is exactly Simulate.
+//
+// It is a thin wrapper over SimulateSourceObs on an in-memory slice source,
+// so the in-memory and streaming paths share one cycle-level core.
 func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string, obsTr *obs.Tracer) Stats {
+	st, err := SimulateSourceObs(tr.StreamAnnotated(ann), cfg, lvpName, obsTr)
+	if err != nil {
+		// A slice source cannot fail.
+		panic("axp21164: in-memory simulation failed: " + err.Error())
+	}
+	return st
+}
+
+// SimulateSource runs an annotated record stream through the in-order model
+// in bounded memory: the machine is a strict forward pass, so only one
+// record is live at a time. An error from the source (e.g. a trace decode
+// failure) aborts the run.
+func SimulateSource(src trace.AnnotatedSource, cfg Config, lvpName string) (Stats, error) {
+	return SimulateSourceObs(src, cfg, lvpName, nil)
+}
+
+// SimulateSourceObs is SimulateSource with an event tracer.
+func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, obsTr *obs.Tracer) (Stats, error) {
 	hier := &cache.Hierarchy{
 		L1:        cache.MustNew(cfg.L1),
 		L2:        cache.MustNew(cfg.L2),
@@ -146,7 +168,7 @@ func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName stri
 		Tracer: obsTr,
 	}
 	bp := bpred.New(bpred.Default21164)
-	st := Stats{Machine: cfg.Name, LVPConfig: lvpName, Instructions: len(tr.Records)}
+	st := Stats{Machine: cfg.Name, LVPConfig: lvpName}
 
 	var readyG, readyF [isa.NumRegs]int
 	cycle := 0
@@ -161,8 +183,15 @@ func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName stri
 		intUsed, fpUsed, memUsed, totalUsed = 0, 0, 0, 0
 	}
 
-	for i := range tr.Records {
-		r := &tr.Records[i]
+	for {
+		r, pred, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		st.Instructions++
 		in := r.Inst()
 
 		// Earliest cycle the operands allow (strict in-order).
@@ -211,10 +240,6 @@ func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName stri
 		switch {
 		case r.IsLoad():
 			memUsed++
-			pred := trace.PredNone
-			if ann != nil {
-				pred = ann[i]
-			}
 			done, barrier = issueLoad(r, pred, cycle, barrier, cfg, hier, &st, obsTr)
 		case r.IsStore():
 			memUsed++
@@ -239,7 +264,7 @@ func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName stri
 	st.L1 = hier.L1.Stats()
 	st.L2 = hier.L2.Stats()
 	st.Branch = bp.Stats()
-	return st
+	return st, nil
 }
 
 // issueLoad handles one load under the paper's 21164 LVP rules and returns

@@ -86,6 +86,13 @@ type Suite struct {
 	// GOMAXPROCS-derived default. 1 runs serially. Output is
 	// byte-identical for every value.
 	Workers int
+	// Stream routes machine-simulation cells through the streaming
+	// pipeline (gen → annotate → sim in one pass, bounded memory, no
+	// trace materialization) instead of the cached in-memory path. Stats
+	// are identical either way; only the memory profile differs.
+	// Experiments that need a materialized trace (locality, annotation
+	// tables) are unaffected.
+	Stream bool
 
 	// Metrics receives pipeline telemetry: per-phase build timers,
 	// LVPT/LCT/CVU and machine-model counters, worker-pool occupancy.
@@ -266,6 +273,9 @@ func (s *Suite) Sim620(name string, plus bool, cfg *lvp.Config) (ppc620.Stats, e
 	}
 	ctx := s.context()
 	return s.cacheState().s620.GetCtx(ctx, key, func() (ppc620.Stats, error) {
+		if s.Stream {
+			return s.StreamSim620(name, plus, cfg)
+		}
 		t, err := s.Trace(name, prog.PPC)
 		if err != nil {
 			return ppc620.Stats{}, err
@@ -305,6 +315,9 @@ func (s *Suite) Sim21164(name string, cfg *lvp.Config) (axp21164.Stats, error) {
 	}
 	ctx := s.context()
 	return s.cacheState().s164.GetCtx(ctx, key, func() (axp21164.Stats, error) {
+		if s.Stream {
+			return s.StreamSim21164(name, cfg)
+		}
 		t, err := s.Trace(name, prog.AXP)
 		if err != nil {
 			return axp21164.Stats{}, err

@@ -119,25 +119,48 @@ type Result struct {
 // Measure computes value locality for every requested history depth in one
 // pass over the trace.
 func Measure(t *trace.Trace, entries int, depths ...int) []Result {
+	m := NewMeter(entries, depths...)
+	for i := range t.Records {
+		m.Add(&t.Records[i])
+	}
+	return m.Results()
+}
+
+// Meter accumulates value locality record-at-a-time — the streaming
+// counterpart of Measure, for traces that are never materialized in memory.
+// Measure is implemented on top of it, so both paths share one accumulation.
+type Meter struct {
+	tables  []*HistoryTable
+	results []Result
+}
+
+// NewMeter returns a Meter measuring every requested history depth.
+func NewMeter(entries int, depths ...int) *Meter {
 	if entries <= 0 {
 		entries = DefaultEntries
 	}
-	tables := make([]*HistoryTable, len(depths))
-	results := make([]Result, len(depths))
+	m := &Meter{
+		tables:  make([]*HistoryTable, len(depths)),
+		results: make([]Result, len(depths)),
+	}
 	for i, d := range depths {
-		tables[i] = NewHistoryTable(entries, d)
-		results[i].Depth = d
+		m.tables[i] = NewHistoryTable(entries, d)
+		m.results[i].Depth = d
 	}
-	for i := range t.Records {
-		r := &t.Records[i]
-		if !r.IsLoad() {
-			continue
-		}
-		for k, tab := range tables {
-			hit := tab.Access(r.PC, r.Value)
-			results[k].Overall.add(hit)
-			results[k].ByClass[r.Class].add(hit)
-		}
-	}
-	return results
+	return m
 }
+
+// Add accumulates one record; non-loads are ignored.
+func (m *Meter) Add(r *trace.Record) {
+	if !r.IsLoad() {
+		return
+	}
+	for k, tab := range m.tables {
+		hit := tab.Access(r.PC, r.Value)
+		m.results[k].Overall.add(hit)
+		m.results[k].ByClass[r.Class].add(hit)
+	}
+}
+
+// Results returns the measurements accumulated so far.
+func (m *Meter) Results() []Result { return m.results }

@@ -1,0 +1,78 @@
+package lvp
+
+import (
+	"lvp/internal/obs"
+	"lvp/internal/trace"
+)
+
+// Annotator is the streaming form of Annotate: records are fed in trace
+// order, one at a time, and each receives its prediction state immediately.
+// It is phase 2 of the pipeline without the materialized trace — the unit
+// state, classification and CVU discipline are exactly Annotate's, because
+// Annotate is implemented on top of it. Record is allocation-free, so the
+// per-load predict/verify path can run inside the fused gen→annotate→sim
+// pipeline at full speed.
+type Annotator struct {
+	u *Unit
+}
+
+// NewAnnotator returns a streaming annotator for the given configuration;
+// tr attaches an event tracer (nil disables tracing).
+func NewAnnotator(cfg Config, tr *obs.Tracer) (*Annotator, error) {
+	u, err := NewUnit(cfg)
+	if err != nil {
+		return nil, err
+	}
+	u.SetTracer(tr)
+	return &Annotator{u: u}, nil
+}
+
+// Record processes one record: loads are predicted and verified, stores
+// invalidate the CVU, and everything else passes through as PredNone.
+func (a *Annotator) Record(r *trace.Record) trace.PredState {
+	switch {
+	case r.IsLoad():
+		return a.u.Load(r.PC, r.Addr, r.Value)
+	case r.IsStore():
+		a.u.Store(r.Addr, int(r.Size))
+	}
+	return trace.PredNone
+}
+
+// Stats returns the unit statistics accumulated so far.
+func (a *Annotator) Stats() Stats { return a.u.Stats() }
+
+// Pipe adapts a record source into the annotated stream the timing models
+// consume: each Next pulls one record from src, annotates it, and hands the
+// pair downstream without buffering. Stats is valid once the stream has
+// drained (Next returned io.EOF).
+type Pipe struct {
+	src trace.Source
+	a   *Annotator
+}
+
+// NewPipe returns an annotated stream over src under cfg; tr attaches an
+// event tracer (nil disables tracing).
+func NewPipe(src trace.Source, cfg Config, tr *obs.Tracer) (*Pipe, error) {
+	a, err := NewAnnotator(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipe{src: src, a: a}, nil
+}
+
+// Next yields the next record and its prediction state; io.EOF after the
+// final record.
+func (p *Pipe) Next() (*trace.Record, trace.PredState, error) {
+	r, err := p.src.Next()
+	if err != nil {
+		return nil, trace.PredNone, err
+	}
+	return r, p.a.Record(r), nil
+}
+
+// Annotated reports that the stream carries real LVP annotations.
+func (p *Pipe) Annotated() bool { return true }
+
+// Stats returns the unit statistics accumulated so far.
+func (p *Pipe) Stats() Stats { return p.a.Stats() }

@@ -1,0 +1,159 @@
+package lvp
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"lvp/internal/isa"
+	"lvp/internal/trace"
+)
+
+// mixedTrace builds a deterministic trace exercising every annotator path:
+// constant loads (CVU promotion and hits), alternating-value loads
+// (mispredictions and LCT demotion), stores that invalidate CVU entries,
+// and non-memory records that must pass through as PredNone.
+func mixedTrace(n int) *trace.Trace {
+	t := &trace.Trace{Name: "mixed", Target: "ppc"}
+	for i := 0; i < n; i++ {
+		pc := uint64(0x1000 + 4*(i%16))
+		switch i % 8 {
+		case 0, 1, 2:
+			// Constant load: same pc/addr/value every time.
+			t.Records = append(t.Records, trace.Record{
+				PC: pc, Op: isa.LD, Rd: 3, Ra: 1, Imm: 8,
+				Addr: 0x2000 + 8*uint64(i%3), Value: 0xabcd, Size: 8,
+				Class: isa.LoadIntData,
+			})
+		case 3:
+			// Alternating-value load: never predictable for long.
+			t.Records = append(t.Records, trace.Record{
+				PC: 0x1100, Op: isa.LD, Rd: 4, Ra: 1, Imm: 16,
+				Addr: 0x3000, Value: uint64(i % 2), Size: 8,
+				Class: isa.LoadDataAddr,
+			})
+		case 4:
+			// Store over the constant loads' addresses: CVU invalidation.
+			t.Records = append(t.Records, trace.Record{
+				PC: pc, Op: isa.SD, Ra: 1, Rb: 3, Imm: 8,
+				Addr: 0x2000 + 8*uint64(i%3), Value: 0xabcd, Size: 8,
+			})
+		default:
+			t.Records = append(t.Records, trace.Record{
+				PC: pc, Op: isa.ADD, Rd: 5, Ra: 3, Rb: 4, Value: uint64(i),
+			})
+		}
+	}
+	return t
+}
+
+// TestAnnotatorMatchesAnnotate pins the single-code-path contract of the
+// streaming layer: feeding records one at a time through Annotator (and
+// through Pipe over a trace Source) yields exactly the annotation and
+// statistics of the whole-trace Annotate, for every paper configuration.
+func TestAnnotatorMatchesAnnotate(t *testing.T) {
+	tr := mixedTrace(4096)
+	for _, cfg := range Configs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			wantAnn, wantStats, err := Annotate(tr, cfg)
+			if err != nil {
+				t.Fatalf("Annotate: %v", err)
+			}
+
+			a, err := NewAnnotator(cfg, nil)
+			if err != nil {
+				t.Fatalf("NewAnnotator: %v", err)
+			}
+			gotAnn := make(trace.Annotation, len(tr.Records))
+			for i := range tr.Records {
+				gotAnn[i] = a.Record(&tr.Records[i])
+			}
+			if !reflect.DeepEqual(gotAnn, wantAnn) {
+				t.Fatal("Annotator states differ from Annotate")
+			}
+			if !reflect.DeepEqual(a.Stats(), wantStats) {
+				t.Fatalf("Annotator stats differ:\n got %+v\nwant %+v", a.Stats(), wantStats)
+			}
+
+			p, err := NewPipe(tr.Stream(), cfg, nil)
+			if err != nil {
+				t.Fatalf("NewPipe: %v", err)
+			}
+			if !p.Annotated() {
+				t.Fatal("Pipe.Annotated() = false, want true")
+			}
+			var pipeAnn trace.Annotation
+			for {
+				_, st, err := p.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("Pipe.Next: %v", err)
+				}
+				pipeAnn = append(pipeAnn, st)
+			}
+			if !reflect.DeepEqual(pipeAnn, wantAnn) {
+				t.Fatal("Pipe states differ from Annotate")
+			}
+			if !reflect.DeepEqual(p.Stats(), wantStats) {
+				t.Fatalf("Pipe stats differ:\n got %+v\nwant %+v", p.Stats(), wantStats)
+			}
+		})
+	}
+}
+
+// TestUnitLoadAllocFree is the LVP-unit allocation-regression gate: once
+// the tables and the CVU backing array are warm, the per-load
+// predict/classify/verify/update path must not allocate. This is what lets
+// the fused streaming pipeline annotate arbitrarily long traces without GC
+// pressure.
+func TestUnitLoadAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, cfg := range []Config{Simple, Constant, Perfect} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			u, err := NewUnit(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := func(i int) {
+				if i%7 == 3 {
+					u.Store(0x2000+8*uint64(i%4), 8)
+					return
+				}
+				pc := uint64(0x1000 + 4*(i%8))
+				u.Load(pc, 0x2000+8*uint64(i%4), 0xabcd)
+			}
+			// Warm up: drive the LCT to steady state and the CVU backing
+			// array to its high-water occupancy.
+			for i := 0; i < 50_000; i++ {
+				step(i)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(10_000, func() {
+				step(i)
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("Unit.Load/Store allocates %.4f objects/record after warm-up, want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkAnnotatorRecord measures the streaming per-record annotation
+// hot path under the paper's Simple configuration.
+func BenchmarkAnnotatorRecord(b *testing.B) {
+	tr := mixedTrace(4096)
+	a, err := NewAnnotator(Simple, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Record(&tr.Records[i%len(tr.Records)])
+	}
+}

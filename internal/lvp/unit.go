@@ -273,22 +273,17 @@ func Annotate(t *trace.Trace, cfg Config) (trace.Annotation, Stats, error) {
 
 // AnnotateTraced is Annotate with an event tracer attached to the unit
 // (lvpt, lct and cvu channels); tr == nil is exactly Annotate. Tracing never
-// changes the annotation or the statistics, only what is emitted.
+// changes the annotation or the statistics, only what is emitted. It is the
+// materialized form of the streaming Annotator: the per-record path is the
+// same code either way.
 func AnnotateTraced(t *trace.Trace, cfg Config, tr *obs.Tracer) (trace.Annotation, Stats, error) {
-	u, err := NewUnit(cfg)
+	a, err := NewAnnotator(cfg, tr)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("annotating %s: %w", t.Name, err)
 	}
-	u.SetTracer(tr)
 	ann := trace.NewAnnotation(t)
 	for i := range t.Records {
-		r := &t.Records[i]
-		switch {
-		case r.IsLoad():
-			ann[i] = u.Load(r.PC, r.Addr, r.Value)
-		case r.IsStore():
-			u.Store(r.Addr, int(r.Size))
-		}
+		ann[i] = a.Record(&t.Records[i])
 	}
-	return ann, u.Stats(), nil
+	return ann, a.Stats(), nil
 }

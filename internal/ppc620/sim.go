@@ -2,6 +2,7 @@ package ppc620
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 
 	"lvp/internal/bpred"
@@ -15,7 +16,7 @@ const unknown = -1
 
 // entry is one dynamic instruction flowing through the machine.
 type entry struct {
-	rec  *trace.Record
+	rec  trace.Record
 	fu   FU
 	pred trace.PredState
 
@@ -44,18 +45,32 @@ type entry struct {
 	aliasStore int // conflicting older store detected by the alias logic
 }
 
-// machine is the live simulation state.
+// machine is the live simulation state. Instructions live in a fixed-size
+// ring of entries sized by ringSize, so a run needs memory proportional to
+// the machine's window, not to the trace: the live window spans at most
+// Completion+FetchBuffer entries, and the oldest entry any mechanism may
+// still consult (a producer feeding a dependence capture, or a predicted
+// load behind a spec tag) is bounded by a further Completion+CompleteWidth
+// below the head — see ringSize.
 type machine struct {
-	cfg  Config
-	tr   *trace.Trace
-	ann  trace.Annotation
-	hier *cache.Hierarchy
-	bp   *bpred.Predictor
+	cfg       Config
+	src       trace.AnnotatedSource
+	annotated bool
+	hier      *cache.Hierarchy
+	bp        *bpred.Predictor
 
-	entries []entry
-	head    int // oldest not-completed
-	dispPtr int // next to dispatch (into entries/window)
-	fetched int // number fetched so far (fetch buffer tail)
+	entries  []entry // ring; index with at()
+	ringMask int
+
+	head      int // oldest not-completed (absolute index)
+	dispPtr   int // next to dispatch (into entries/window)
+	fetched   int // number fetched so far (fetch buffer tail)
+	liveFloor int // head at the start of the current cycle
+
+	srcDone     bool
+	pending     trace.Record // one-record lookahead, primed before cycle 0
+	pendingPred trace.PredState
+	hasPending  bool
 
 	lastWriterG [isa.NumRegs]int
 	lastWriterF [isa.NumRegs]int
@@ -74,6 +89,26 @@ type machine struct {
 	stats Stats
 }
 
+// at returns the ring slot holding absolute entry index i. Valid only while
+// i is within ringSize of the newest fetched entry; the structural bounds in
+// ringSize guarantee that for every consultation the model performs.
+func (m *machine) at(i int) *entry { return &m.entries[i&m.ringMask] }
+
+// ringSize is the entry-ring capacity for a configuration: the live window
+// holds at most Completion+FetchBuffer entries, dependence capture may
+// consult a producer completed this cycle (head retreats at most
+// CompleteWidth below the cycle's liveFloor), and a reservation-station hold
+// may consult a spec-source load up to Completion entries behind its
+// consumer. Rounded up to a power of two for mask indexing.
+func ringSize(cfg Config) int {
+	need := 2*cfg.Completion + cfg.FetchBuffer + cfg.CompleteWidth + 2
+	size := 1
+	for size < need {
+		size <<= 1
+	}
+	return size
+}
+
 // Simulate runs the trace through the machine model. ann may be nil (no LVP
 // unit); lvpName labels the run in the stats.
 func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string) Stats {
@@ -83,11 +118,32 @@ func Simulate(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string)
 // SimulateObs is Simulate with an event tracer: machine incidents (alias
 // refetches, MSHR stalls, bank conflicts) on the sim channel, L1 misses on
 // the cache channel. obsTr == nil is exactly Simulate.
+//
+// It is a thin wrapper over SimulateSourceObs on an in-memory slice source,
+// so the in-memory and streaming paths share one cycle-level core.
 func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName string, obsTr *obs.Tracer) Stats {
+	st, err := SimulateSourceObs(tr.StreamAnnotated(ann), cfg, lvpName, obsTr)
+	if err != nil {
+		// A slice source cannot fail.
+		panic("ppc620: in-memory simulation failed: " + err.Error())
+	}
+	return st
+}
+
+// SimulateSource runs an annotated record stream through the machine model
+// in bounded memory: the trace is never materialized, only the machine's
+// window of in-flight entries is held. An error from the source (e.g. a
+// trace decode failure) aborts the run.
+func SimulateSource(src trace.AnnotatedSource, cfg Config, lvpName string) (Stats, error) {
+	return SimulateSourceObs(src, cfg, lvpName, nil)
+}
+
+// SimulateSourceObs is SimulateSource with an event tracer.
+func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, obsTr *obs.Tracer) (Stats, error) {
 	m := &machine{
-		cfg: cfg,
-		tr:  tr,
-		ann: ann,
+		cfg:       cfg,
+		src:       src,
+		annotated: src.Annotated(),
 		hier: &cache.Hierarchy{
 			L1:        cache.MustNew(cfg.L1),
 			L2:        cache.MustNew(cfg.L2),
@@ -104,23 +160,23 @@ func SimulateObs(tr *trace.Trace, ann trace.Annotation, cfg Config, lvpName stri
 	}
 	m.stats.Machine = cfg.Name
 	m.stats.LVPConfig = lvpName
-	m.entries = make([]entry, len(tr.Records))
-	for i := range m.entries {
-		m.prepare(i)
+	size := ringSize(cfg)
+	m.entries = make([]entry, size)
+	m.ringMask = size - 1
+	if err := m.run(); err != nil {
+		return Stats{}, err
 	}
-	m.run()
-	m.stats.Instructions = len(tr.Records)
+	m.stats.Instructions = m.fetched
 	m.stats.L1 = m.hier.L1.Stats()
 	m.stats.L2 = m.hier.L2.Stats()
 	m.stats.Branch = m.bp.Stats()
-	return m.stats
+	return m.stats, nil
 }
 
-// prepare fills the static fields of entry i.
-func (m *machine) prepare(i int) {
-	e := &m.entries[i]
-	r := &m.tr.Records[i]
-	e.rec = r
+// prepare resets ring slot e and fills its static fields from record r.
+func (m *machine) prepare(e *entry, r *trace.Record, pred trace.PredState) {
+	*e = entry{}
+	e.rec = *r
 	e.fu = fuOf(r.Op)
 	e.srcA, e.srcB = -1, -1
 	e.specSrc = -1
@@ -132,12 +188,12 @@ func (m *machine) prepare(i int) {
 	e.usesRename = e.writesGPR && !isCompare(r.Op)
 	e.isLoad = r.IsLoad()
 	e.isStore = r.IsStore()
-	if m.ann != nil {
+	if m.annotated {
 		// Annotations normally cover loads only; AnnotateGeneral also
 		// marks other register-writing instructions, which this model
 		// handles with the same forward-at-dispatch / verify-after-
 		// execute semantics.
-		e.pred = m.ann[i]
+		e.pred = pred
 		if e.isLoad {
 			m.stats.LoadStates[e.pred]++
 		}
@@ -192,53 +248,93 @@ func execLatency(op isa.Op) int {
 	}
 }
 
-func (m *machine) run() {
-	n := len(m.entries)
+// prime pulls the first record into the lookahead so an empty source is
+// detected before cycle 0 (an empty run performs zero cycles).
+func (m *machine) prime() error {
+	r, pred, err := m.src.Next()
+	if err == io.EOF {
+		m.srcDone = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.pending = *r
+	m.pendingPred = pred
+	m.hasPending = true
+	return nil
+}
+
+func (m *machine) run() error {
+	if err := m.prime(); err != nil {
+		return err
+	}
 	cycle := 0
 	const safetyFactor = 200 // cycles per instruction upper bound
-	for m.head < n {
+	for !m.srcDone || m.head < m.fetched {
+		m.liveFloor = m.head
 		m.complete(cycle)
 		m.issue(cycle)
 		m.dispatch(cycle)
-		m.fetch(cycle)
+		if err := m.fetch(cycle); err != nil {
+			return err
+		}
 		// Clear the bank-usage slot this cycle vacates.
 		m.bankRing[(cycle+len(m.bankRing)-1)&(len(m.bankRing)-1)] = [8]uint8{}
 		cycle++
-		if cycle > safetyFactor*(n+100) {
+		if cycle > safetyFactor*(m.fetched+100) {
 			panic("ppc620: simulation wedged (cycle bound exceeded)")
 		}
 	}
 	m.stats.Cycles = cycle
+	return nil
 }
 
 // --- fetch ---
 
-func (m *machine) fetch(cycle int) {
+func (m *machine) fetch(cycle int) error {
 	// Fetch is blocked while a mispredicted branch is unresolved.
 	if m.fetchStallEntry >= 0 {
-		e := &m.entries[m.fetchStallEntry]
+		e := m.at(m.fetchStallEntry)
 		if !e.issued || cycle <= e.doneC {
-			return
+			return nil
 		}
 		m.fetchStallEntry = -1
 	}
 	space := m.cfg.FetchBuffer - (m.fetched - m.dispPtr)
 	width := min(m.cfg.FetchWidth, space)
-	for k := 0; k < width && m.fetched < len(m.entries); k++ {
+	for k := 0; k < width && !m.srcDone; k++ {
+		var r *trace.Record
+		var pred trace.PredState
+		if m.hasPending {
+			r, pred = &m.pending, m.pendingPred
+			m.hasPending = false
+		} else {
+			nr, np, err := m.src.Next()
+			if err == io.EOF {
+				m.srcDone = true
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			r, pred = nr, np
+		}
 		i := m.fetched
-		e := &m.entries[i]
-		r := e.rec
+		e := m.at(i)
+		m.prepare(e, r, pred)
 		m.fetched++
 		// Branch prediction happens at fetch; a mispredicted branch
 		// stalls further fetch until it resolves.
-		if r.IsBranch() {
-			if m.bp.Resolve(r) {
+		if e.rec.IsBranch() {
+			if m.bp.Resolve(&e.rec) {
 				e.mispred = true
 				m.fetchStallEntry = i
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // --- dispatch ---
@@ -251,7 +347,7 @@ func (m *machine) dispatch(cycle int) {
 			return
 		}
 		i := m.dispPtr
-		e := &m.entries[i]
+		e := m.at(i)
 		// Structural checks (in-order: stop at first failure).
 		if i-m.head >= m.cfg.Completion {
 			m.stats.StallCompletion++
@@ -283,8 +379,12 @@ func (m *machine) dispatch(cycle int) {
 			}
 		}
 
-		// Dependence capture.
-		r := e.rec
+		// Dependence capture. Producers completed before this cycle are
+		// dead for both readiness (their result is long available) and
+		// spec-tag propagation (their verification is in the past), so
+		// only entries at or above the cycle's live floor are consulted
+		// — which also keeps every consulted index within the ring.
+		r := &e.rec
 		var srcs [4]isa.RegRef
 		for _, ref := range isa.Sources(r.Inst(), srcs[:0]) {
 			var p int
@@ -295,7 +395,7 @@ func (m *machine) dispatch(cycle int) {
 			} else {
 				p = -1
 			}
-			if p < 0 {
+			if p < m.liveFloor {
 				continue
 			}
 			if e.srcA < 0 {
@@ -332,9 +432,11 @@ func (m *machine) dispatch(cycle int) {
 }
 
 // specTagOf reports the unverified predicted load behind producer p (p
-// itself, or its inherited tag), or -1.
+// itself, or its inherited tag), or -1. p must be at or above the cycle's
+// live floor; the spec source it chases is within Completion of p and so
+// still resident in the ring.
 func (m *machine) specTagOf(p, cycle int) int {
-	pe := &m.entries[p]
+	pe := m.at(p)
 	if pe.pred != trace.PredNone {
 		if pe.verifyC == unknown || pe.verifyC >= cycle {
 			return p
@@ -342,7 +444,7 @@ func (m *machine) specTagOf(p, cycle int) int {
 		return -1
 	}
 	if pe.specSrc >= 0 {
-		le := &m.entries[pe.specSrc]
+		le := m.at(pe.specSrc)
 		if le.verifyC == unknown || le.verifyC >= cycle {
 			return pe.specSrc
 		}
@@ -354,7 +456,7 @@ func (m *machine) specTagOf(p, cycle int) int {
 func (m *machine) rsInUse(f FU, cycle int) int {
 	n := 0
 	for i := m.head; i < m.dispPtr; i++ {
-		e := &m.entries[i]
+		e := m.at(i)
 		if e.fu != f || !e.dispatched || e.completed {
 			continue
 		}
@@ -376,7 +478,7 @@ func (m *machine) holdsRS(e *entry, cycle int) bool {
 		return true
 	}
 	if e.specSrc >= 0 {
-		le := &m.entries[e.specSrc]
+		le := m.at(e.specSrc)
 		if le.verifyC == unknown || cycle <= le.verifyC {
 			return true
 		}
@@ -389,7 +491,7 @@ func (m *machine) holdsRS(e *entry, cycle int) bool {
 func (m *machine) renameInUse(fp bool) int {
 	n := 0
 	for i := m.head; i < m.dispPtr; i++ {
-		e := &m.entries[i]
+		e := m.at(i)
 		if e.completed {
 			continue
 		}
@@ -422,7 +524,7 @@ func (m *machine) issue(cycle int) {
 	// detection refetches them when a conflict materialises (§4.1).
 	storeBlocked := false
 	for i := m.head; i < m.dispPtr; i++ {
-		e := &m.entries[i]
+		e := m.at(i)
 		if !e.dispatched || e.issued {
 			if e.isStore && !e.issued {
 				storeBlocked = true
@@ -457,7 +559,7 @@ func (m *machine) operandsReady(e *entry, cycle int) bool {
 		if p < 0 {
 			continue
 		}
-		pr := m.entries[p].resultReadyC
+		pr := m.at(p).resultReadyC
 		if pr == unknown || pr > cycle {
 			return false
 		}
@@ -470,7 +572,7 @@ func (m *machine) operandsReady(e *entry, cycle int) bool {
 }
 
 func (m *machine) execute(i, cycle int) {
-	e := &m.entries[i]
+	e := m.at(i)
 	e.issued = true
 	e.issueC = cycle
 	m.stats.RSWaitSum[e.fu] += int64(max(0, e.readyMax-e.dispatchC))
@@ -514,7 +616,7 @@ func (m *machine) execute(i, cycle int) {
 }
 
 func (m *machine) executeLoad(i, cycle int) {
-	e := &m.entries[i]
+	e := m.at(i)
 	addr := e.rec.Addr
 
 	// Check the uncommitted store queue. An older overlapping store that
@@ -530,7 +632,7 @@ func (m *machine) executeLoad(i, cycle int) {
 	case sqAlias:
 		// Refetch: the load's value becomes available only after the
 		// conflicting store executes plus a refetch penalty.
-		st := &m.entries[e.aliasStore]
+		st := m.at(e.aliasStore)
 		avail := cycle + m.cfg.L1Latency
 		if st.issued {
 			avail = max(avail, st.doneC+aliasRefetchPenalty+m.cfg.L1Latency)
@@ -671,9 +773,9 @@ const (
 // and classifies the situation. On sqAlias the conflicting store's index is
 // recorded in the load's aliasStore field.
 func (m *machine) storeQueueCheck(i, cycle int) sqResult {
-	e := &m.entries[i]
+	e := m.at(i)
 	for j := i - 1; j >= m.head; j-- {
-		o := &m.entries[j]
+		o := m.at(j)
 		if !o.isStore || o.completed {
 			continue
 		}
@@ -710,7 +812,7 @@ func (m *machine) noteConflict(cycle int) {
 
 func (m *machine) complete(cycle int) {
 	for k := 0; k < m.cfg.CompleteWidth && m.head < m.dispPtr; k++ {
-		e := &m.entries[m.head]
+		e := m.at(m.head)
 		if !e.issued || cycle < e.doneC {
 			return
 		}

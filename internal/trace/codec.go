@@ -19,6 +19,14 @@ import (
 // Each record is encoded as a flag byte followed by varints. PCs are encoded
 // as signed deltas from the previous record's PC (almost always +4), which
 // keeps typical records to a few bytes.
+//
+// The count field is normally a minimal uvarint; streaming writers that do
+// not know the count up front reserve a padded fixed-width uvarint instead
+// and backpatch it (see Writer). Both decode identically.
+//
+// The encoder and decoder live in stream.go (Writer.WriteRecord and
+// Reader.Next); Read and Write below are the whole-trace convenience layer
+// on top of them.
 
 const magic = "VLT1"
 
@@ -32,156 +40,52 @@ const (
 var (
 	// ErrBadMagic reports that the input is not a VLT1 trace.
 	ErrBadMagic = errors.New("trace: bad magic (not a VLT1 trace file)")
+	// ErrStringTooLong reports a header whose name or target declares a
+	// length beyond MaxHeaderString. The cap bounds what a corrupt or
+	// hostile header can make the decoder allocate.
+	ErrStringTooLong = errors.New("trace: header string length exceeds cap")
 )
+
+// MaxHeaderString caps the declared length of the header's name and target
+// strings.
+const MaxHeaderString = 1 << 12
 
 // Write encodes t to w in the VLT1 binary format.
 func Write(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(magic); err != nil {
+	sw, err := NewWriterCount(w, t.Name, t.Target, uint64(len(t.Records)))
+	if err != nil {
 		return err
 	}
-	writeString(bw, t.Name)
-	writeString(bw, t.Target)
-	writeUvarint(bw, uint64(len(t.Records)))
-	prevPC := uint64(0)
-	var buf [binary.MaxVarintLen64]byte
 	for i := range t.Records {
-		r := &t.Records[i]
-		var flags byte
-		if r.IsLoad() || r.IsStore() {
-			flags |= flagMem
-		} else if r.Value != 0 {
-			flags |= flagVal
-		}
-		if r.Taken {
-			flags |= flagTaken
-		}
-		if r.IsBranch() {
-			flags |= flagTarg
-		}
-		bw.WriteByte(flags)
-		bw.WriteByte(byte(r.Op))
-		bw.WriteByte(byte(r.Rd))
-		bw.WriteByte(byte(r.Ra))
-		bw.WriteByte(byte(r.Rb))
-		bw.WriteByte(byte(r.Class))
-		n := binary.PutVarint(buf[:], int64(r.PC-prevPC))
-		bw.Write(buf[:n])
-		prevPC = r.PC
-		n = binary.PutVarint(buf[:], r.Imm)
-		bw.Write(buf[:n])
-		if flags&flagMem != 0 {
-			bw.WriteByte(r.Size)
-			n = binary.PutUvarint(buf[:], r.Addr)
-			bw.Write(buf[:n])
-			n = binary.PutUvarint(buf[:], r.Value)
-			bw.Write(buf[:n])
-		}
-		if flags&flagVal != 0 {
-			n = binary.PutUvarint(buf[:], r.Value)
-			bw.Write(buf[:n])
-		}
-		if flags&flagTarg != 0 {
-			n = binary.PutUvarint(buf[:], r.Targ)
-			bw.Write(buf[:n])
+		if err := sw.WriteRecord(&t.Records[i]); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Close()
 }
 
 // Read decodes a VLT1 trace from r.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(m[:]) != magic {
-		return nil, ErrBadMagic
-	}
-	t := &Trace{}
-	var err error
-	if t.Name, err = readString(br); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	if t.Target, err = readString(br); err != nil {
-		return nil, fmt.Errorf("trace: reading target: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
+	sr, err := NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, err
 	}
-	const maxReasonable = 1 << 32
-	if count > maxReasonable {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
-	}
+	t := &Trace{Name: sr.Name(), Target: sr.Target()}
 	// Allocate incrementally rather than trusting the count header: a
 	// malformed input claiming billions of records must fail with a
 	// decode error, not an enormous up-front allocation.
 	const allocChunk = 1 << 16
-	t.Records = make([]Record, 0, min(count, allocChunk))
-	prevPC := uint64(0)
-	var hdr [6]byte
-	for i := uint64(0); i < count; i++ {
-		var rec Record
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d header: %w", i, err)
+	t.Records = make([]Record, 0, min(sr.Count(), allocChunk))
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return t, nil
 		}
-		flags := hdr[0]
-		if flags&^(flagMem|flagTaken|flagTarg|flagVal) != 0 {
-			return nil, fmt.Errorf("trace: record %d: unknown flag bits %#02x", i, flags)
-		}
-		rec.Op = isaOp(hdr[1])
-		rec.Rd, rec.Ra, rec.Rb = isaReg(hdr[2]), isaReg(hdr[3]), isaReg(hdr[4])
-		rec.Class = isaLoadClass(hdr[5])
-		// The flag byte is redundant with the opcode; reject records
-		// where they disagree so every decoded trace is canonical (and
-		// re-encodes to the same semantic records).
-		if mem := rec.IsLoad() || rec.IsStore(); (flags&flagMem != 0) != mem {
-			return nil, fmt.Errorf("trace: record %d: mem flag inconsistent with opcode %v", i, rec.Op)
-		}
-		if (flags&flagTarg != 0) != rec.IsBranch() {
-			return nil, fmt.Errorf("trace: record %d: branch-target flag inconsistent with opcode %v", i, rec.Op)
-		}
-		if flags&flagVal != 0 && flags&flagMem != 0 {
-			return nil, fmt.Errorf("trace: record %d: value flag on a memory record", i)
-		}
-		dpc, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+			return nil, err
 		}
-		rec.PC = prevPC + uint64(dpc)
-		prevPC = rec.PC
-		if rec.Imm, err = binary.ReadVarint(br); err != nil {
-			return nil, fmt.Errorf("trace: record %d imm: %w", i, err)
-		}
-		rec.Taken = flags&flagTaken != 0
-		if flags&flagMem != 0 {
-			sz, err := br.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("trace: record %d size: %w", i, err)
-			}
-			rec.Size = sz
-			if rec.Addr, err = binary.ReadUvarint(br); err != nil {
-				return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
-			}
-			if rec.Value, err = binary.ReadUvarint(br); err != nil {
-				return nil, fmt.Errorf("trace: record %d value: %w", i, err)
-			}
-		}
-		if flags&flagVal != 0 {
-			if rec.Value, err = binary.ReadUvarint(br); err != nil {
-				return nil, fmt.Errorf("trace: record %d result value: %w", i, err)
-			}
-		}
-		if flags&flagTarg != 0 {
-			if rec.Targ, err = binary.ReadUvarint(br); err != nil {
-				return nil, fmt.Errorf("trace: record %d target: %w", i, err)
-			}
-		}
-		t.Records = append(t.Records, rec)
+		t.Records = append(t.Records, *rec)
 	}
-	return t, nil
 }
 
 func writeString(bw *bufio.Writer, s string) {
@@ -202,8 +106,10 @@ func readString(br *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("implausible string length %d", n)
+	// Reject the length before allocating anything: the header length is
+	// attacker-controlled on corrupt input.
+	if n > MaxHeaderString {
+		return "", fmt.Errorf("%w (%d > %d)", ErrStringTooLong, n, MaxHeaderString)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(br, b); err != nil {

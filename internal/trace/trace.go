@@ -62,28 +62,51 @@ type Summary struct {
 
 // Summarize scans the trace once and returns its Summary.
 func (t *Trace) Summarize() Summary {
-	s := Summary{Name: t.Name, Target: t.Target, Instructions: len(t.Records)}
-	taken := 0
+	z := NewSummarizer(t.Name, t.Target)
 	for i := range t.Records {
-		r := &t.Records[i]
-		switch {
-		case r.IsLoad():
-			s.Loads++
-			s.LoadsByClass[r.Class]++
-		case r.IsStore():
-			s.Stores++
-		case r.IsBranch():
-			s.Branches++
-			if isa.IsCondBranch(r.Op) {
-				s.CondBranches++
-				if r.Taken {
-					taken++
-				}
+		z.Add(&t.Records[i])
+	}
+	return z.Summary()
+}
+
+// Summarizer accumulates a Summary record-at-a-time — the streaming
+// counterpart of Trace.Summarize, for summarising traces that are never
+// materialized in memory.
+type Summarizer struct {
+	s     Summary
+	taken int
+}
+
+// NewSummarizer returns a Summarizer for a trace with the given header.
+func NewSummarizer(name, target string) *Summarizer {
+	return &Summarizer{s: Summary{Name: name, Target: target}}
+}
+
+// Add accumulates one record.
+func (z *Summarizer) Add(r *Record) {
+	z.s.Instructions++
+	switch {
+	case r.IsLoad():
+		z.s.Loads++
+		z.s.LoadsByClass[r.Class]++
+	case r.IsStore():
+		z.s.Stores++
+	case r.IsBranch():
+		z.s.Branches++
+		if isa.IsCondBranch(r.Op) {
+			z.s.CondBranches++
+			if r.Taken {
+				z.taken++
 			}
 		}
 	}
+}
+
+// Summary returns the accumulated summary.
+func (z *Summarizer) Summary() Summary {
+	s := z.s
 	if s.CondBranches > 0 {
-		s.TakenRate = float64(taken) / float64(s.CondBranches)
+		s.TakenRate = float64(z.taken) / float64(s.CondBranches)
 	}
 	return s
 }
