@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream check-stream serve check-serve verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf serve check-serve verify clean
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-check: build vet test race
+check: build vet test race check-perf
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
@@ -60,10 +60,20 @@ bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkAnnotate' -benchtime 2s -count 3 .
 
 # Streaming-layer benchmarks: record-at-a-time decode/encode vs the
-# whole-trace codec, and a full streamed gen→annotate→sim cell vs the
-# materialized pipeline.
+# whole-trace codec, batched vs per-record decode (StreamDecodeBatch vs
+# StreamDecode), and the fused gen→annotate→sim cell on both interface
+# chains (StreamFusedBatch vs StreamFusedPerRecord).
 bench-stream:
 	$(GO) test -run xxx -bench 'Stream|MemDecode|MemEncode|MemPipeline' -benchtime 1s ./internal/trace/ ./internal/exp/
+
+# Benchmark-trajectory grid (see PERFORMANCE.md): the full run refreshes the
+# checked-in BENCH_PR5.json baseline; the smoke run is the CI sizing that
+# uploads an informational artifact without gating.
+bench-json:
+	$(GO) run ./cmd/lvpbench -out BENCH_PR5.json
+
+bench-json-smoke:
+	$(GO) run ./cmd/lvpbench -smoke -out bench-smoke.json
 
 # Streaming memory/identity gate, run standalone (uncached): the
 # allocation-regression tests (0 allocs/record on the Reader/Writer/LVP hot
@@ -72,6 +82,14 @@ bench-stream:
 # part of plain `make test` / `make check`.
 check-stream:
 	$(GO) test -count=1 -run 'AllocFree|TestStreamRSS|TestStreamDifferential|TestAnnotatorMatchesAnnotate|TestReaderMatchesRead' ./internal/trace/ ./internal/lvp/ ./internal/exp/
+
+# Hot-path identity and allocation gates, run standalone (uncached): the
+# randomized CVU differential against the linear-scan reference (states,
+# stats, and eviction victims must be decision-identical), the batched
+# decode/annotate differentials, and the 0-allocs/record gates on the
+# steady-state CVU and batch paths.
+check-perf:
+	$(GO) test -count=1 -run 'TestCVUDifferential|TestCVUInvalidateAddrBoundaries|TestCVUInsertRefresh|TestCVUOpsAllocFree|NextBatch|TestPump|TestRecordBatch' ./internal/lvp/ ./internal/trace/ ./internal/vm/
 
 # Run the experiment daemon locally (see SERVING.md for the API).
 serve:

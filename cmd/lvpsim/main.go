@@ -26,8 +26,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -128,11 +126,7 @@ func main() {
 
 	if *pprofAddr != "" {
 		s.Metrics.Publish("lvp")
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "lvpsim: pprof: %v\n", err)
-			}
-		}()
+		obs.StartDebugServer(*pprofAddr, "lvpsim")
 	}
 
 	start := time.Now()

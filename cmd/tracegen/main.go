@@ -6,7 +6,12 @@
 //
 //	tracegen -bench grep -target ppc -scale 1 -o grep.ppc.vlt
 //	tracegen -bench grep -target ppc -stream -o grep.ppc.vlt   # bounded memory
+//	tracegen -bench grep -scale 64 -pprof localhost:6060 -o /dev/null
 //	tracegen -list
+//
+// -pprof serves net/http/pprof on the given address while the trace is
+// generated (same helper as lvpsim -pprof), for profiling the generation
+// phase itself.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"lvp/internal/bench"
+	"lvp/internal/obs"
 	"lvp/internal/prog"
 	"lvp/internal/trace"
 	"lvp/internal/version"
@@ -29,6 +35,7 @@ func main() {
 		scale       = flag.Int("scale", 1, "run-length multiplier")
 		out         = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
 		stream      = flag.Bool("stream", false, "stream records to the output as the VM executes (bounded memory)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while generating")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -47,6 +54,9 @@ func main() {
 	if *benchName == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -bench is required (use -list)")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		obs.StartDebugServer(*pprofAddr, "tracegen")
 	}
 	tg, err := prog.TargetByName(*target)
 	if err != nil {

@@ -169,6 +169,10 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 	}
 	bp := bpred.New(bpred.Default21164)
 	st := Stats{Machine: cfg.Name, LVPConfig: lvpName}
+	// Re-buffer batch-capable sources (the fused pipeline, the VLT1
+	// Reader) so the in-order issue loop pulls from a local buffer instead
+	// of the upstream interface chain.
+	src = trace.Buffer(src)
 
 	var readyG, readyF [isa.NumRegs]int
 	cycle := 0

@@ -65,6 +65,7 @@ func (s *Suite) recordAnnStats(st lvp.Stats) {
 	r.Counter("cvu.hits").Add(st.CVU.Hits)
 	r.Counter("cvu.misses").Add(st.CVU.Misses)
 	r.Counter("cvu.inserts").Add(st.CVU.Inserts)
+	r.Counter("cvu.refreshes").Add(st.CVU.Refreshes)
 	r.Counter("cvu.evictions").Add(st.CVU.Evictions)
 	r.Counter("cvu.addr_invalidated").Add(st.CVU.AddrInvalidated)
 	r.Counter("cvu.index_invalidated").Add(st.CVU.IndexInvalidated)

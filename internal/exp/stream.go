@@ -49,6 +49,34 @@ func (m *meteredSource) Next() (*trace.Record, error) {
 	return r, err
 }
 
+// meteredBatchSource is meteredSource over a batch-capable inner source:
+// one count update per batch, flushed on EOF exactly like the per-record
+// form, so the batched pipeline keeps its telemetry without touching the
+// shared counter per record.
+type meteredBatchSource struct {
+	meteredSource
+	bs trace.BatchSource
+}
+
+func (m *meteredBatchSource) NextBatch(buf []trace.Record) (int, error) {
+	n, err := m.bs.NextBatch(buf)
+	m.n += int64(n)
+	if err == io.EOF || (err == nil && n == 0) {
+		m.c.Add(m.n)
+		m.n = 0
+	}
+	return n, err
+}
+
+// meter wraps src with record counting, preserving batch capability.
+func meter(src trace.Source, c *obs.Counter) trace.Source {
+	ms := meteredSource{src: src, c: c}
+	if bs, ok := src.(trace.BatchSource); ok {
+		return &meteredBatchSource{ms, bs}
+	}
+	return &ms
+}
+
 // streamSource builds the gen → annotate front half of a streaming cell:
 // a functional-VM record source for one benchmark/target, annotated on the
 // fly by an LVP unit under cfg (nil = no LVP hardware).
@@ -61,8 +89,7 @@ func (s *Suite) streamSource(name string, target prog.Target, cfg *lvp.Config) (
 	if err != nil {
 		return nil, fmt.Errorf("exp: building %s/%s: %w", name, target.Name, err)
 	}
-	var src trace.Source = vm.NewSource(p, s.MaxSteps)
-	src = &meteredSource{src: src, c: s.Metrics.Counter("trace.stream.records")}
+	src := meter(vm.NewSource(p, s.MaxSteps), s.Metrics.Counter("trace.stream.records"))
 	if cfg == nil {
 		return trace.NoLVP(src), nil
 	}

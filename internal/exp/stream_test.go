@@ -7,6 +7,7 @@ import (
 
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
+	"lvp/internal/ppc620"
 	"lvp/internal/prog"
 	"lvp/internal/trace"
 	"lvp/internal/vm"
@@ -186,5 +187,55 @@ func BenchmarkMemPipeline(b *testing.B) {
 		if _, err := s.Sim620(bench.All()[0].Name, false, &lvp.Simple); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// perRecordSource and perRecordAnnotated hide batch capability behind the
+// plain interfaces, reconstructing the PR-4 record-at-a-time pipeline so
+// the fused benchmarks can compare the two paths on identical work.
+type perRecordSource struct{ trace.Source }
+
+type perRecordAnnotated struct{ trace.AnnotatedSource }
+
+// fusedCell runs one gen → annotate → sim cell outside the suite caches;
+// perRecord forces every stage onto the record-at-a-time interfaces.
+func fusedCell(b *testing.B, perRecord bool) {
+	b.Helper()
+	bm := bench.All()[0]
+	p, err := bm.Build(prog.PPC, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var src trace.Source = vm.NewSource(p, 0)
+	if perRecord {
+		src = perRecordSource{src}
+	}
+	pipe, err := lvp.NewPipe(src, lvp.Simple, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ann trace.AnnotatedSource = pipe
+	if perRecord {
+		ann = perRecordAnnotated{ann}
+	}
+	if _, err := ppc620.SimulateSource(ann, ppc620.Config620(), lvp.Simple.Name); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamFusedBatch measures the fused gen → annotate → sim cell on
+// the batched path (vm.Source.NextBatch → Pipe.NextBatch → trace.Pump);
+// BenchmarkStreamFusedPerRecord is the identical cell forced onto the PR-4
+// per-record interface chain. Their ratio is the pipeline_batch_speedup
+// trajectory metric in BENCH_PR5.json.
+func BenchmarkStreamFusedBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fusedCell(b, false)
+	}
+}
+
+func BenchmarkStreamFusedPerRecord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fusedCell(b, true)
 	}
 }

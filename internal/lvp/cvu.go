@@ -6,11 +6,33 @@ package lvp
 // this address". Stores invalidate matching addresses; LVPT updates that
 // change an entry's value invalidate matching indices. A constant load that
 // hits the CVU is verified without accessing the memory hierarchy.
+//
+// The hardware is a CAM; the obvious software model is a linear scan per
+// operation, which makes every Unit.Load pay O(capacity) on the constant
+// path and every store pay O(capacity) again. This implementation instead
+// exploits the same structure the paper's CAM matches on: entries are
+// reachable through two secondary indexes — a map keyed by LVPT index
+// (Lookup, Insert, InvalidateIndex) and a map keyed by 8-byte address
+// bucket (InvalidateAddr walks only the buckets a store footprint can
+// touch) — and LRU eviction is O(1) via an intrusive recency list. All
+// node storage lives in one slab that grows to at most `capacity` entries,
+// so steady-state operations are allocation-free. The behavior is
+// decision-for-decision identical to the linear-scan reference model
+// (`referenceCVU` in cvu_diff_test.go), enforced by a randomized
+// differential test.
 type CVU struct {
 	capacity int
-	entries  []cvuEntry
 	clock    uint64
 	stats    CVUStats
+
+	nodes []cvuNode // slab; grows to capacity, then recycles via free list
+	free  int       // free-list head (chained through next), -1 = empty
+	size  int       // live entries
+	head  int       // most recently used, -1 = empty
+	tail  int       // least recently used, -1 = empty
+
+	byIndex  map[int]int    // LVPT index -> chain head (idxPrev/idxNext)
+	byBucket map[uint64]int // addr>>3 -> chain head (bktPrev/bktNext)
 }
 
 // CVUStats counts CAM events. Plain ints — one CVU per Unit per goroutine;
@@ -19,7 +41,11 @@ type CVUStats struct {
 	Lookups int64
 	Hits    int64
 	Misses  int64
-	Inserts int64
+	// Inserts counts entries newly written into the CAM. Re-inserting a
+	// pair that is already present only refreshes its LRU position and is
+	// counted under Refreshes, so Inserts matches true insert pressure.
+	Inserts   int64
+	Refreshes int64
 	// Evictions counts LRU capacity evictions on Insert. Invalidation
 	// removals are counted separately: AddrInvalidated entries were
 	// removed by store-address matches, IndexInvalidated by LVPT value
@@ -29,29 +55,62 @@ type CVUStats struct {
 	IndexInvalidated int64
 }
 
-type cvuEntry struct {
-	addr  uint64
-	index int
-	used  uint64 // LRU timestamp
+// cvuNode is one slab slot: the entry payload plus its links in the LRU
+// list, its LVPT-index chain and its address-bucket chain. A free slot is
+// chained through next only.
+type cvuNode struct {
+	addr   uint64
+	index  int
+	used   uint64 // LRU timestamp (kept for the reference differential)
+	bucket uint64 // addr >> 3, the key it is chained under in byBucket
+
+	prev, next       int // LRU list: prev toward MRU, next toward LRU
+	idxPrev, idxNext int
+	bktPrev, bktNext int
 }
 
-// NewCVU returns a CVU with the given capacity; capacity 0 disables it.
+// NewCVU returns a CVU with the given capacity; capacity <= 0 disables it.
 func NewCVU(capacity int) *CVU {
-	return &CVU{capacity: capacity}
+	if capacity < 0 {
+		capacity = 0
+	}
+	c := &CVU{capacity: capacity, free: -1, head: -1, tail: -1}
+	if capacity > 0 {
+		c.byIndex = make(map[int]int, capacity)
+		c.byBucket = make(map[uint64]int, capacity)
+	}
+	return c
+}
+
+// find returns the slab slot holding (addr, index), or -1. It walks the
+// LVPT-index chain: the CAM key is the concatenation of address and index,
+// so every candidate shares the index and the chain is typically one entry.
+func (c *CVU) find(addr uint64, index int) int {
+	if c.size == 0 {
+		return -1
+	}
+	n, ok := c.byIndex[index]
+	if !ok {
+		return -1
+	}
+	for ; n >= 0; n = c.nodes[n].idxNext {
+		if c.nodes[n].addr == addr {
+			return n
+		}
+	}
+	return -1
 }
 
 // Lookup performs the CAM search on (addr, index) — the concatenation the
 // paper describes — and refreshes the entry's LRU position on a hit.
 func (c *CVU) Lookup(addr uint64, index int) bool {
 	c.stats.Lookups++
-	for i := range c.entries {
-		e := &c.entries[i]
-		if e.addr == addr && e.index == index {
-			c.clock++
-			e.used = c.clock
-			c.stats.Hits++
-			return true
-		}
+	if n := c.find(addr, index); n >= 0 {
+		c.clock++
+		c.nodes[n].used = c.clock
+		c.moveToFront(n)
+		c.stats.Hits++
+		return true
 	}
 	c.stats.Misses++
 	return false
@@ -59,80 +118,222 @@ func (c *CVU) Lookup(addr uint64, index int) bool {
 
 // Insert records that the LVPT entry at index is verified-coherent with
 // memory at addr. The least-recently-used entry is evicted when full.
-// Inserting an existing pair just refreshes it.
+// Inserting an already-present pair just refreshes its LRU position and is
+// counted as a Refresh, not an Insert.
 func (c *CVU) Insert(addr uint64, index int) {
 	if c.capacity == 0 {
 		return
 	}
 	c.clock++
-	c.stats.Inserts++
-	for i := range c.entries {
-		e := &c.entries[i]
-		if e.addr == addr && e.index == index {
-			e.used = c.clock
-			return
-		}
-	}
-	if len(c.entries) < c.capacity {
-		c.entries = append(c.entries, cvuEntry{addr: addr, index: index, used: c.clock})
+	if n := c.find(addr, index); n >= 0 {
+		c.stats.Refreshes++
+		c.nodes[n].used = c.clock
+		c.moveToFront(n)
 		return
 	}
-	// Evict LRU.
-	c.stats.Evictions++
-	victim := 0
-	for i := 1; i < len(c.entries); i++ {
-		if c.entries[i].used < c.entries[victim].used {
-			victim = i
-		}
+	c.stats.Inserts++
+	var n int
+	switch {
+	case c.free >= 0:
+		n = c.free
+		c.free = c.nodes[n].next
+		c.size++
+	case c.size < c.capacity:
+		c.nodes = append(c.nodes, cvuNode{})
+		n = len(c.nodes) - 1
+		c.size++
+	default:
+		// Evict LRU: the list tail, in O(1).
+		c.stats.Evictions++
+		n = c.tail
+		c.unlink(n)
 	}
-	c.entries[victim] = cvuEntry{addr: addr, index: index, used: c.clock}
+	nd := &c.nodes[n]
+	nd.addr, nd.index, nd.used = addr, index, c.clock
+	nd.bucket = addr >> 3
+	c.pushFront(n)
+	c.linkIndex(n)
+	c.linkBucket(n)
 }
 
 // InvalidateAddr removes every entry whose data address lies in the store's
 // footprint [addr, addr+size). (A real CAM matches on cache-line or word
 // granularity; we use exact byte-range overlap against the entry's load
-// address, conservatively treating the entry as covering loadSize bytes.)
-// It returns the number of entries removed.
+// address, conservatively treating the entry as covering 8 bytes.) Both
+// ranges clip at the top of the address space rather than wrapping, so an
+// entry or store footprint near ^uint64(0) matches exactly the bytes it
+// covers. It returns the number of entries removed.
 func (c *CVU) InvalidateAddr(addr uint64, size int) int {
 	if size <= 0 {
 		size = 1
 	}
-	removed := 0
-	out := c.entries[:0]
-	for _, e := range c.entries {
-		// Entries record the load's base address; invalidate on any
-		// overlap with the store, assuming loads cover at most 8 bytes.
-		if e.addr+8 > addr && e.addr < addr+uint64(size) {
-			removed++
-			continue
-		}
-		out = append(out, e)
+	// An entry covers [e.addr, e.addr+8) and the store covers
+	// [addr, addr+size), both clipped at ^uint64(0). They overlap exactly
+	// when e.addr lands in [lo, hi]:
+	lo := uint64(0)
+	if addr >= 7 {
+		lo = addr - 7
 	}
-	c.entries = out
+	hi := addr + uint64(size) - 1
+	if hi < addr {
+		hi = ^uint64(0) // store footprint clips at the top
+	}
+	removed := 0
+	if c.size > 0 {
+		loB, hiB := lo>>3, hi>>3
+		if hiB-loB+1 > uint64(c.size) {
+			// A store footprint wider than the occupancy: walking the
+			// live entries is cheaper than walking the buckets.
+			for n := c.head; n >= 0; {
+				next := c.nodes[n].next
+				if a := c.nodes[n].addr; a >= lo && a <= hi {
+					c.remove(n)
+					removed++
+				}
+				n = next
+			}
+		} else {
+			for b := loB; ; b++ {
+				for n, ok := c.byBucket[b]; ok && n >= 0; {
+					next := c.nodes[n].bktNext
+					if a := c.nodes[n].addr; a >= lo && a <= hi {
+						c.remove(n)
+						removed++
+					}
+					n = next
+				}
+				if b == hiB {
+					break
+				}
+			}
+		}
+	}
 	c.stats.AddrInvalidated += int64(removed)
 	return removed
 }
 
 // InvalidateIndex removes every entry referring to the given LVPT index;
 // called when that LVPT entry's value changes, so a stale CVU entry can
-// never vouch for a value that is no longer in the table.
+// never vouch for a value that is no longer in the table. The index chain
+// holds exactly the matching entries, so the cost is the number removed.
 func (c *CVU) InvalidateIndex(index int) int {
 	removed := 0
-	out := c.entries[:0]
-	for _, e := range c.entries {
-		if e.index == index {
+	if c.size > 0 {
+		n, ok := c.byIndex[index]
+		for ok && n >= 0 {
+			next := c.nodes[n].idxNext
+			c.remove(n)
 			removed++
-			continue
+			n = next
 		}
-		out = append(out, e)
 	}
-	c.entries = out
 	c.stats.IndexInvalidated += int64(removed)
 	return removed
 }
 
 // Len reports the current occupancy.
-func (c *CVU) Len() int { return len(c.entries) }
+func (c *CVU) Len() int { return c.size }
 
 // Stats returns the accumulated CAM counters.
 func (c *CVU) Stats() CVUStats { return c.stats }
+
+// --- intrusive-list plumbing ---
+
+// pushFront makes n the MRU end of the recency list.
+func (c *CVU) pushFront(n int) {
+	nd := &c.nodes[n]
+	nd.prev, nd.next = -1, c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = n
+	}
+	c.head = n
+	if c.tail < 0 {
+		c.tail = n
+	}
+}
+
+// moveToFront refreshes n's recency without touching the chains.
+func (c *CVU) moveToFront(n int) {
+	if c.head == n {
+		return
+	}
+	nd := &c.nodes[n]
+	if nd.prev >= 0 {
+		c.nodes[nd.prev].next = nd.next
+	}
+	if nd.next >= 0 {
+		c.nodes[nd.next].prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+	c.pushFront(n)
+}
+
+// linkIndex chains n at the head of its LVPT-index chain.
+func (c *CVU) linkIndex(n int) {
+	nd := &c.nodes[n]
+	if h, ok := c.byIndex[nd.index]; ok {
+		nd.idxPrev, nd.idxNext = -1, h
+		c.nodes[h].idxPrev = n
+	} else {
+		nd.idxPrev, nd.idxNext = -1, -1
+	}
+	c.byIndex[nd.index] = n
+}
+
+// linkBucket chains n at the head of its address-bucket chain.
+func (c *CVU) linkBucket(n int) {
+	nd := &c.nodes[n]
+	if h, ok := c.byBucket[nd.bucket]; ok {
+		nd.bktPrev, nd.bktNext = -1, h
+		c.nodes[h].bktPrev = n
+	} else {
+		nd.bktPrev, nd.bktNext = -1, -1
+	}
+	c.byBucket[nd.bucket] = n
+}
+
+// unlink detaches n from the recency list and both chains, fixing up the
+// map heads (or deleting emptied keys). The slot itself is not recycled.
+func (c *CVU) unlink(n int) {
+	nd := &c.nodes[n]
+	if nd.prev >= 0 {
+		c.nodes[nd.prev].next = nd.next
+	} else {
+		c.head = nd.next
+	}
+	if nd.next >= 0 {
+		c.nodes[nd.next].prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+	if nd.idxPrev >= 0 {
+		c.nodes[nd.idxPrev].idxNext = nd.idxNext
+	} else if nd.idxNext >= 0 {
+		c.byIndex[nd.index] = nd.idxNext
+	} else {
+		delete(c.byIndex, nd.index)
+	}
+	if nd.idxNext >= 0 {
+		c.nodes[nd.idxNext].idxPrev = nd.idxPrev
+	}
+	if nd.bktPrev >= 0 {
+		c.nodes[nd.bktPrev].bktNext = nd.bktNext
+	} else if nd.bktNext >= 0 {
+		c.byBucket[nd.bucket] = nd.bktNext
+	} else {
+		delete(c.byBucket, nd.bucket)
+	}
+	if nd.bktNext >= 0 {
+		c.nodes[nd.bktNext].bktPrev = nd.bktPrev
+	}
+}
+
+// remove invalidates slot n: unlink everywhere and recycle onto the free
+// list.
+func (c *CVU) remove(n int) {
+	c.unlink(n)
+	c.nodes[n].next = c.free
+	c.free = n
+	c.size--
+}

@@ -1,6 +1,8 @@
 package lvp
 
 import (
+	"io"
+
 	"lvp/internal/obs"
 	"lvp/internal/trace"
 )
@@ -39,6 +41,26 @@ func (a *Annotator) Record(r *trace.Record) trace.PredState {
 	return trace.PredNone
 }
 
+// RecordBatch processes recs[:n] in order, writing each record's state
+// into the parallel states slice (len(states) must be at least n). It is
+// exactly n calls to Record with the per-record switch dispatch hoisted
+// out of the interface-call chain.
+func (a *Annotator) RecordBatch(recs []trace.Record, states []trace.PredState) {
+	u := a.u
+	for i := range recs {
+		r := &recs[i]
+		switch {
+		case r.IsLoad():
+			states[i] = u.Load(r.PC, r.Addr, r.Value)
+		case r.IsStore():
+			u.Store(r.Addr, int(r.Size))
+			states[i] = trace.PredNone
+		default:
+			states[i] = trace.PredNone
+		}
+	}
+}
+
 // Stats returns the unit statistics accumulated so far.
 func (a *Annotator) Stats() Stats { return a.u.Stats() }
 
@@ -69,6 +91,37 @@ func (p *Pipe) Next() (*trace.Record, trace.PredState, error) {
 		return nil, trace.PredNone, err
 	}
 	return r, p.a.Record(r), nil
+}
+
+// NextBatch pulls up to len(recs) records from the source and annotates
+// them in order (see trace.AnnotatedBatchSource). When the source is
+// itself batch-capable the whole gen → annotate hop costs two calls per
+// batch; otherwise records are gathered one at a time and annotated in
+// bulk, which still amortizes the annotation dispatch.
+func (p *Pipe) NextBatch(recs []trace.Record, states []trace.PredState) (int, error) {
+	var n int
+	var err error
+	if bs, ok := p.src.(trace.BatchSource); ok {
+		n, err = bs.NextBatch(recs)
+	} else {
+		for n < len(recs) {
+			r, rerr := p.src.Next()
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			recs[n] = *r
+			n++
+		}
+		if n > 0 && err == io.EOF {
+			err = nil
+		}
+	}
+	if n == 0 {
+		return 0, err
+	}
+	p.a.RecordBatch(recs[:n], states[:n])
+	return n, err
 }
 
 // Annotated reports that the stream carries real LVP annotations.

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
+	"os"
+)
+
+// StartDebugServer serves net/http/pprof and expvar (/debug/vars) on addr in
+// a background goroutine, for the lifetime of the process. name prefixes the
+// error line if the listener fails — the server is a debugging aid, so a
+// bind failure is reported on stderr rather than aborting the run. A command
+// that wants its metrics registry visible at /debug/vars should call
+// Registry.Publish before this.
+func StartDebugServer(addr, name string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", name, err)
+		}
+	}()
+}

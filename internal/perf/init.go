@@ -1,0 +1,17 @@
+package perf
+
+import (
+	"flag"
+	"sync"
+	"testing"
+)
+
+// The testing package only registers its flags (test.benchtime in
+// particular) when a test binary or an explicit testing.Init call asks for
+// them. lvpbench is a plain binary driving testing.Benchmark, so Init runs
+// once here before any flag is set.
+var initOnce sync.Once
+
+func testingInit() { initOnce.Do(testing.Init) }
+
+func flagSet(name, value string) error { return flag.Set(name, value) }

@@ -1,0 +1,408 @@
+// Package perf is the benchmark-trajectory harness: a fixed grid of
+// pipeline-stage benchmarks (generation, VLT1 codec, annotation, the fused
+// streaming cell, both timing models) executed programmatically via
+// testing.Benchmark and reported as a stable JSON document. The checked-in
+// BENCH_*.json snapshots give every PR a measurable perf baseline — see
+// PERFORMANCE.md for how to read and refresh them.
+//
+// The grid is deterministic in structure: entry names, ordering and the
+// ratio keys never depend on timing, so successive runs diff cleanly and a
+// regression shows up as a changed number, not a changed shape.
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lvp/internal/axp21164"
+	"lvp/internal/bench"
+	"lvp/internal/lvp"
+	"lvp/internal/ppc620"
+	"lvp/internal/prog"
+	"lvp/internal/trace"
+	"lvp/internal/vm"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "lvpbench/v1"
+
+// Entry is one grid cell's measurement. ns/record and records/sec are the
+// primary axes; MB/s is reported for the byte-denominated codec stages and
+// allocs/record for every stage (the streaming hot paths must hold 0).
+type Entry struct {
+	Name            string  `json:"name"`
+	Records         int64   `json:"records"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	MBPerSec        float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// Report is the full bench-grid result.
+type Report struct {
+	Schema    string  `json:"schema"`
+	Bench     string  `json:"bench"`
+	Target    string  `json:"target"`
+	Scale     int     `json:"scale"`
+	Smoke     bool    `json:"smoke,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Entries   []Entry `json:"entries"`
+	// Ratios are records/sec speedups between named grid cells; the keys
+	// are fixed. *_batch_speedup compares a batched stage against its PR-4
+	// record-at-a-time form on identical work.
+	Ratios    map[string]float64 `json:"ratios"`
+	PeakRSSKB int64              `json:"peak_rss_kb"`
+}
+
+// Options configure a grid run.
+type Options struct {
+	Bench     string // workload name (default: first of bench.All())
+	Scale     int    // workload scale (default 1)
+	Benchtime string // test.benchtime value, e.g. "1s" or "20x" (default "1s")
+	Smoke     bool   // smoke sizing: small trace, few iterations (CI)
+	Log       io.Writer
+}
+
+// workload is the prepared input shared by every grid cell: one benchmark
+// program, its materialized trace, annotation, and VLT1 encoding.
+type workload struct {
+	prog    *prog.Program
+	tr      *trace.Trace
+	ann     trace.Annotation
+	enc     []byte
+	records int64
+}
+
+// gridCell is one fixed grid entry: bytes != 0 marks byte-denominated
+// stages (MB/s reported against the VLT1 encoding size).
+type gridCell struct {
+	name  string
+	bytes func(w *workload) int64
+	run   func(b *testing.B, w *workload)
+}
+
+func encBytes(w *workload) int64 { return int64(len(w.enc)) }
+
+// grid is the fixed benchmark grid, in report order.
+var grid = []gridCell{
+	{"gen.record", nil, benchGenRecord},
+	{"gen.batch", nil, benchGenBatch},
+	{"codec.decode.record", encBytes, benchDecodeRecord},
+	{"codec.decode.batch", encBytes, benchDecodeBatch},
+	{"codec.encode", encBytes, benchEncode},
+	{"annotate.record", nil, benchAnnotateRecord},
+	{"annotate.batch", nil, benchAnnotateBatch},
+	{"pipeline.fused.record", nil, benchFusedRecord},
+	{"pipeline.fused.batch", nil, benchFusedBatch},
+	{"sim.620", nil, benchSim620},
+	{"sim.21164", nil, benchSim21164},
+}
+
+// ratios maps each fixed ratio key to its numerator/denominator entries,
+// compared on records/sec.
+var ratios = []struct{ key, num, den string }{
+	{"gen_batch_speedup", "gen.batch", "gen.record"},
+	{"decode_batch_speedup", "codec.decode.batch", "codec.decode.record"},
+	{"annotate_batch_speedup", "annotate.batch", "annotate.record"},
+	{"pipeline_batch_speedup", "pipeline.fused.batch", "pipeline.fused.record"},
+}
+
+// Run executes the full grid and returns the report.
+func Run(opts Options) (*Report, error) {
+	if opts.Bench == "" {
+		opts.Bench = bench.All()[0].Name
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Benchtime == "" {
+		opts.Benchtime = "1s"
+		if opts.Smoke {
+			opts.Benchtime = "2x"
+		}
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if err := setBenchtime(opts.Benchtime); err != nil {
+		return nil, err
+	}
+	w, err := prepare(opts.Bench, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema: Schema, Bench: opts.Bench, Target: prog.PPC.Name,
+		Scale: opts.Scale, Smoke: opts.Smoke,
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Ratios: make(map[string]float64, len(ratios)),
+	}
+	perSec := make(map[string]float64, len(grid))
+	for _, cell := range grid {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			cell.run(b, w)
+		})
+		if res.N == 0 {
+			return nil, fmt.Errorf("perf: %s did not run", cell.name)
+		}
+		e := Entry{Name: cell.name, Records: w.records}
+		perOp := float64(res.T.Nanoseconds()) / float64(res.N) // one op = one full pass
+		e.NsPerRecord = round3(perOp / float64(w.records))
+		if perOp > 0 {
+			e.RecordsPerSec = round3(float64(w.records) * 1e9 / perOp)
+		}
+		if cell.bytes != nil {
+			if n := cell.bytes(w); n > 0 && perOp > 0 {
+				e.MBPerSec = round3(float64(n) * 1e9 / perOp / (1 << 20))
+			}
+		}
+		e.AllocsPerRecord = round3(float64(res.AllocsPerOp()) / float64(w.records))
+		perSec[cell.name] = e.RecordsPerSec
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(opts.Log, "%-24s %12.1f ns/rec %14.0f rec/s %8.3f allocs/rec\n",
+			cell.name, e.NsPerRecord, e.RecordsPerSec, e.AllocsPerRecord)
+	}
+	for _, r := range ratios {
+		if den := perSec[r.den]; den > 0 {
+			rep.Ratios[r.key] = round3(perSec[r.num] / den)
+		}
+	}
+	rep.PeakRSSKB = peakRSSKB()
+	return rep, nil
+}
+
+// WriteJSON emits the report as stable, indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// prepare builds the workload once; every grid cell reuses it.
+func prepare(name string, scale int) (*workload, error) {
+	bm, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := bm.Build(prog.PPC, scale)
+	if err != nil {
+		return nil, fmt.Errorf("perf: building %s: %w", name, err)
+	}
+	tr, _, err := vm.Run(p, 0)
+	if err != nil {
+		return nil, fmt.Errorf("perf: tracing %s: %w", name, err)
+	}
+	ann, _, err := lvp.Annotate(tr, lvp.Simple)
+	if err != nil {
+		return nil, fmt.Errorf("perf: annotating %s: %w", name, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		return nil, fmt.Errorf("perf: encoding %s: %w", name, err)
+	}
+	return &workload{
+		prog: p, tr: tr, ann: ann, enc: buf.Bytes(),
+		records: int64(len(tr.Records)),
+	}, nil
+}
+
+// setBenchtime routes the chosen duration into the testing package.
+// testing.Init registers the test.* flags; setting test.benchtime is the
+// documented way to size testing.Benchmark from a non-test binary.
+func setBenchtime(v string) error {
+	testingInit()
+	return flagSet("test.benchtime", v)
+}
+
+// round3 trims a float for stable, readable JSON.
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}
+
+// peakRSSKB reads the process peak resident set (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+// --- grid cells ---
+
+func benchGenRecord(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		src := vm.NewSource(w.prog, 0)
+		for {
+			if _, err := src.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchGenBatch(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		src := vm.NewSource(w.prog, 0)
+		for {
+			if _, err := src.NextBatch(buf); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchDecodeRecord(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(w.enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchDecodeBatch(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(w.enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.NextBatch(buf); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchEncode(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		wr, err := trace.NewWriterCount(io.Discard, w.tr.Name, w.tr.Target, uint64(len(w.tr.Records)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range w.tr.Records {
+			if err := wr.WriteRecord(&w.tr.Records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := wr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAnnotateRecord(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		a, err := lvp.NewAnnotator(lvp.Simple, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range w.tr.Records {
+			a.Record(&w.tr.Records[j])
+		}
+	}
+}
+
+func benchAnnotateBatch(b *testing.B, w *workload) {
+	states := make([]trace.PredState, len(w.tr.Records))
+	for i := 0; i < b.N; i++ {
+		a, err := lvp.NewAnnotator(lvp.Simple, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.RecordBatch(w.tr.Records, states)
+	}
+}
+
+// perRecordSource and perRecordAnnotated hide batch capability, forcing the
+// fused cell onto the PR-4 record-at-a-time interface chain.
+type perRecordSource struct{ trace.Source }
+
+type perRecordAnnotated struct{ trace.AnnotatedSource }
+
+func fused(b *testing.B, w *workload, perRecord bool) {
+	var src trace.Source = vm.NewSource(w.prog, 0)
+	if perRecord {
+		src = perRecordSource{src}
+	}
+	pipe, err := lvp.NewPipe(src, lvp.Simple, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ann trace.AnnotatedSource = pipe
+	if perRecord {
+		ann = perRecordAnnotated{ann}
+	}
+	if _, err := ppc620.SimulateSource(ann, ppc620.Config620(), lvp.Simple.Name); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchFusedRecord(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		fused(b, w, true)
+	}
+}
+
+func benchFusedBatch(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		fused(b, w, false)
+	}
+}
+
+func benchSim620(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		ppc620.Simulate(w.tr, w.ann, ppc620.Config620(), lvp.Simple.Name)
+	}
+}
+
+func benchSim21164(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		axp21164.Simulate(w.tr, w.ann, axp21164.Config21164(), lvp.Simple.Name)
+	}
+}

@@ -138,11 +138,14 @@ func SimulateSource(src trace.AnnotatedSource, cfg Config, lvpName string) (Stat
 	return SimulateSourceObs(src, cfg, lvpName, nil)
 }
 
-// SimulateSourceObs is SimulateSource with an event tracer.
+// SimulateSourceObs is SimulateSource with an event tracer. Batch-capable
+// sources (the fused gen → annotate pipeline, the VLT1 Reader) are
+// re-buffered through a trace.Pump, so the fetch loop's per-record pulls
+// land in a local buffer instead of the upstream interface chain.
 func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, obsTr *obs.Tracer) (Stats, error) {
 	m := &machine{
 		cfg:       cfg,
-		src:       src,
+		src:       trace.Buffer(src),
 		annotated: src.Annotated(),
 		hier: &cache.Hierarchy{
 			L1:        cache.MustNew(cfg.L1),

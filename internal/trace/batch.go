@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Batched streaming. The PR-4 pull pipeline moves one record per interface
+// call: gen → annotate → sim costs several dynamic dispatches per record,
+// and the VLT1 Reader additionally pays an io.ByteReader interface call per
+// varint *byte*. The batch layer amortizes all of that: sources that can
+// produce records in bulk implement NextBatch, and Pump re-buffers any
+// batch-capable source so record-at-a-time consumers (the cycle-level
+// machine models) read from a local buffer instead of an interface chain.
+//
+// Batches never change what flows through the pipeline — only how many
+// records move per call. The streamed-vs-in-memory differential gate and
+// the NextBatch-vs-Next differentials in batch_test.go pin that equivalence.
+
+// BatchSource is a Source that can also deliver records in bulk. NextBatch
+// fills buf with as many records as are available, up to len(buf), and
+// returns the count; unlike Next's reused pointer, the filled records are
+// the caller's to keep. It returns n > 0 with a nil error while records
+// remain, and (0, io.EOF) once the stream is exhausted. A decode or
+// execution error may follow n > 0 already-valid records.
+type BatchSource interface {
+	Source
+	NextBatch(buf []Record) (int, error)
+}
+
+// AnnotatedBatchSource is the batched form of AnnotatedSource: NextBatch
+// fills recs and the parallel states slice (len(states) must be at least
+// len(recs)) with the same contract as BatchSource.NextBatch.
+type AnnotatedBatchSource interface {
+	AnnotatedSource
+	NextBatch(recs []Record, states []PredState) (int, error)
+}
+
+// maxEncodedRecord bounds one VLT1 record's encoding: a 6-byte fixed
+// header, up to two 10-byte varints (pc delta, imm), and at most one of
+// {size byte + addr + value uvarints, value uvarint [+ target uvarint]} —
+// 47 bytes in the widest (memory) shape, padded to a round 64 for the
+// Reader's peek window.
+const maxEncodedRecord = 64
+
+// NextBatch decodes up to len(buf) records: the batched form of Next.
+// Decoding works directly on the bufio peek window with slice-based varint
+// reads, which removes the per-byte io.ByteReader dispatch that dominates
+// Next; records that sit too close to the window's edge (or fail any
+// validation) fall back to Next itself, so error messages and acceptance
+// are byte-identical to the record-at-a-time path.
+func (r *Reader) NextBatch(buf []Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if r.read >= r.count {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		p, _ := r.br.Peek(maxEncodedRecord)
+		if used := r.decodeFast(p, &buf[n]); used > 0 {
+			r.br.Discard(used)
+			r.read++
+			n++
+			continue
+		}
+		// Slow path: near EOF, a record spanning the peek window, or
+		// anything invalid. Next re-reads the same bytes and produces the
+		// canonical result or error.
+		rec, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = *rec
+		n++
+	}
+	return n, nil
+}
+
+// decodeFast decodes one record from p into rec and returns the bytes
+// consumed, or 0 if p does not contain one complete, valid record (the
+// caller then retries through the validating slow path, so "0" never skips
+// input). It must accept exactly the records Next accepts; any doubt —
+// unknown flags, flag/opcode disagreement, varint overflow, truncation —
+// returns 0.
+func (r *Reader) decodeFast(p []byte, rec *Record) int {
+	if len(p) < 6 {
+		return 0
+	}
+	flags := p[0]
+	if flags&^(flagMem|flagTaken|flagTarg|flagVal) != 0 {
+		return 0
+	}
+	*rec = Record{}
+	rec.Op = isaOp(p[1])
+	rec.Rd, rec.Ra, rec.Rb = isaReg(p[2]), isaReg(p[3]), isaReg(p[4])
+	rec.Class = isaLoadClass(p[5])
+	if mem := rec.IsLoad() || rec.IsStore(); (flags&flagMem != 0) != mem {
+		return 0
+	}
+	if (flags&flagTarg != 0) != rec.IsBranch() {
+		return 0
+	}
+	if flags&flagVal != 0 && flags&flagMem != 0 {
+		return 0
+	}
+	off := 6
+	dpc, k := binary.Varint(p[off:])
+	if k <= 0 {
+		return 0
+	}
+	off += k
+	rec.Imm, k = binary.Varint(p[off:])
+	if k <= 0 {
+		return 0
+	}
+	off += k
+	rec.Taken = flags&flagTaken != 0
+	if flags&flagMem != 0 {
+		if off >= len(p) {
+			return 0
+		}
+		rec.Size = p[off]
+		off++
+		rec.Addr, k = binary.Uvarint(p[off:])
+		if k <= 0 {
+			return 0
+		}
+		off += k
+		rec.Value, k = binary.Uvarint(p[off:])
+		if k <= 0 {
+			return 0
+		}
+		off += k
+	}
+	if flags&flagVal != 0 {
+		rec.Value, k = binary.Uvarint(p[off:])
+		if k <= 0 {
+			return 0
+		}
+		off += k
+	}
+	if flags&flagTarg != 0 {
+		rec.Targ, k = binary.Uvarint(p[off:])
+		if k <= 0 {
+			return 0
+		}
+		off += k
+	}
+	rec.PC = r.prevPC + uint64(dpc)
+	r.prevPC = rec.PC
+	return off
+}
+
+// noLVPBatch is NoLVP over a batch-capable source: record batches pass
+// through, every state is PredNone.
+type noLVPBatch struct {
+	noLVP
+	bs BatchSource
+}
+
+func (n noLVPBatch) NextBatch(recs []Record, states []PredState) (int, error) {
+	m, err := n.bs.NextBatch(recs)
+	for i := 0; i < m; i++ {
+		states[i] = PredNone
+	}
+	return m, err
+}
+
+// pumpBatch is Pump's internal buffer size: large enough to amortize the
+// per-batch interface call to nothing, small enough to stay resident in L1
+// (256 records ≈ 20 KiB).
+const pumpBatch = 256
+
+// Pump adapts a batch-capable annotated source for record-at-a-time
+// consumers: Next serves from a local buffer refilled via one NextBatch
+// call per pumpBatch records, so a cycle-level model's fetch loop pays a
+// buffer read instead of an interface-call chain. Records returned by Next
+// stay valid until the buffer refills — the same one-call lifetime the
+// AnnotatedSource contract gives.
+type Pump struct {
+	src    AnnotatedBatchSource
+	recs   [pumpBatch]Record
+	states [pumpBatch]PredState
+	i, n   int
+	err    error // error delivered after the buffered records drain
+}
+
+// NewPump returns a Pump buffering src.
+func NewPump(src AnnotatedBatchSource) *Pump { return &Pump{src: src} }
+
+// Buffer re-buffers src through a Pump when it is batch-capable and
+// returns it unchanged otherwise, so callers can wrap unconditionally.
+func Buffer(src AnnotatedSource) AnnotatedSource {
+	if bs, ok := src.(AnnotatedBatchSource); ok {
+		return NewPump(bs)
+	}
+	return src
+}
+
+// Next returns the next buffered record, refilling as needed.
+func (p *Pump) Next() (*Record, PredState, error) {
+	if p.i >= p.n {
+		if p.err != nil {
+			return nil, PredNone, p.err
+		}
+		n, err := p.src.NextBatch(p.recs[:], p.states[:])
+		if n == 0 {
+			if err == nil {
+				err = io.EOF // a (0, nil) source would otherwise spin
+			}
+			p.err = err
+			return nil, PredNone, err
+		}
+		p.i, p.n, p.err = 0, n, err
+	}
+	r := &p.recs[p.i]
+	st := p.states[p.i]
+	p.i++
+	return r, st, nil
+}
+
+// Annotated reports whether the underlying source carries LVP annotations.
+func (p *Pump) Annotated() bool { return p.src.Annotated() }

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// drainNext decodes an entire stream record-at-a-time, copying each record,
+// and returns the records plus the terminal error (nil for a clean EOF).
+func drainNext(r *Reader) ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// drainBatch decodes an entire stream via NextBatch with the given buffer
+// size and returns the records plus the terminal error (nil for clean EOF).
+func drainBatch(r *Reader, bufSize int) ([]Record, error) {
+	var recs []Record
+	buf := make([]Record, bufSize)
+	for {
+		n, err := r.NextBatch(buf)
+		recs = append(recs, buf[:n]...)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+	}
+}
+
+// TestReaderNextBatchMatchesNext is the batch layer's codec differential:
+// NextBatch must decode exactly the record sequence Next does, for buffer
+// sizes spanning the degenerate (1), the awkward (odd, smaller than the
+// peek window) and the typical (pump-sized and larger).
+func TestReaderNextBatchMatchesNext(t *testing.T) {
+	enc := encodeTrace(genTrace(5003))
+	want, err := func() ([]Record, error) {
+		r, err := NewReader(bytes.NewReader(enc))
+		if err != nil {
+			return nil, err
+		}
+		return drainNext(r)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bufSize := range []int{1, 3, 7, 64, 256, 4096} {
+		r, err := NewReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := drainBatch(r, bufSize)
+		if err != nil {
+			t.Fatalf("bufSize %d: %v", bufSize, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("bufSize %d: batched decode differs from record-at-a-time", bufSize)
+		}
+	}
+}
+
+// TestReaderNextBatchErrorsMatchNext truncates and corrupts encoded streams
+// at every byte offset: the batched reader must deliver exactly the records
+// the record-at-a-time reader delivers and then fail with the identical
+// error message (the fast path falls back to Next for anything invalid).
+func TestReaderNextBatchErrorsMatchNext(t *testing.T) {
+	enc := encodeTrace(genTrace(64))
+	for off := 10; off < len(enc); off += 7 {
+		// Truncation at off.
+		runBatchErrDiff(t, enc[:off])
+		// Single-byte corruption at off.
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0xff
+		runBatchErrDiff(t, mut)
+	}
+}
+
+// runBatchErrDiff decodes enc through both paths and requires identical
+// record prefixes and identical terminal errors. Header-level failures make
+// NewReader itself fail; those are trivially identical.
+func runBatchErrDiff(t *testing.T, enc []byte) {
+	t.Helper()
+	r1, err1 := NewReader(bytes.NewReader(enc))
+	r2, err2 := NewReader(bytes.NewReader(enc))
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("NewReader divergence: %v vs %v", err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	want, wantErr := drainNext(r1)
+	got, gotErr := drainBatch(r2, 256)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded %d records via batch, %d via Next", len(got), len(want))
+	}
+	wantMsg, gotMsg := "", ""
+	if wantErr != nil {
+		wantMsg = wantErr.Error()
+	}
+	if gotErr != nil {
+		gotMsg = gotErr.Error()
+	}
+	if wantMsg != gotMsg {
+		t.Fatalf("error divergence:\n next  %q\n batch %q", wantMsg, gotMsg)
+	}
+}
+
+// errAfterSource yields k records and then a non-EOF error in the same
+// NextBatch call, exercising the records-then-error contract.
+type errAfterSource struct {
+	recs []Record
+	err  error
+	done bool
+}
+
+func (s *errAfterSource) Next() (*Record, PredState, error) { panic("batch only") }
+
+func (s *errAfterSource) NextBatch(recs []Record, states []PredState) (int, error) {
+	if s.done {
+		return 0, s.err
+	}
+	s.done = true
+	n := copy(recs, s.recs)
+	for i := 0; i < n; i++ {
+		states[i] = PredNone
+	}
+	return n, s.err
+}
+
+func (s *errAfterSource) Annotated() bool { return false }
+
+// TestPumpMatchesReader pins the Pump adapter: re-buffering a batch-capable
+// source must yield exactly the per-record sequence of the unbuffered
+// source, including the PredNone states of a NoLVP wrapper.
+func TestPumpMatchesReader(t *testing.T) {
+	enc := encodeTrace(genTrace(3001))
+	r1, err := NewReader(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := drainNext(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NoLVP(r2)
+	if _, ok := src.(AnnotatedBatchSource); !ok {
+		t.Fatal("NoLVP over a Reader must be batch-capable")
+	}
+	pump := Buffer(src)
+	if _, ok := pump.(*Pump); !ok {
+		t.Fatal("Buffer must re-buffer a batch-capable source through a Pump")
+	}
+	var got []Record
+	for {
+		rec, st, err := pump.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != PredNone {
+			t.Fatalf("NoLVP state = %v, want PredNone", st)
+		}
+		got = append(got, *rec)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pumped records differ from direct decode")
+	}
+	if pump.Annotated() {
+		t.Fatal("NoLVP pump must not report annotations")
+	}
+}
+
+// TestPumpDeliversRecordsBeforeError: when a batch arrives as (n > 0, err),
+// the Pump must hand out all n records before surfacing the error, and the
+// error must then be sticky.
+func TestPumpDeliversRecordsBeforeError(t *testing.T) {
+	boom := errors.New("boom")
+	src := &errAfterSource{recs: genTrace(5).Records, err: boom}
+	p := NewPump(src)
+	for i := 0; i < 5; i++ {
+		if _, _, err := p.Next(); err != nil {
+			t.Fatalf("record %d: premature error %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := p.Next(); err != boom {
+			t.Fatalf("after drain: err = %v, want boom (sticky)", err)
+		}
+	}
+}
+
+// TestBufferPassthrough: a per-record-only source must come back unchanged.
+func TestBufferPassthrough(t *testing.T) {
+	tr := genTrace(8)
+	src := tr.StreamAnnotated(nil)
+	if got := Buffer(src); got != src {
+		t.Fatal("Buffer must return per-record sources unchanged")
+	}
+}
+
+// TestReaderNextBatchAllocFree pins the batched decode hot path at zero
+// allocations per batch once the reader is constructed.
+func TestReaderNextBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	enc := encodeTrace(genTrace(200_000))
+	r, err := NewReader(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Record, 256)
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := r.NextBatch(buf); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Reader.NextBatch allocates %v allocs/batch, want 0", avg)
+	}
+}
+
+// BenchmarkStreamDecodeBatch measures the batched VLT1 decode path; its
+// per-record baseline is BenchmarkStreamDecode in stream_test.go, and the
+// ratio is the bench harness's decode_batch_speedup trajectory metric.
+func BenchmarkStreamDecodeBatch(b *testing.B) {
+	enc := encodeTrace(genTrace(1 << 16))
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	buf := make([]Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, err := r.NextBatch(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

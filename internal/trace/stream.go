@@ -92,8 +92,14 @@ func (n noLVP) Next() (*Record, PredState, error) {
 func (noLVP) Annotated() bool { return false }
 
 // NoLVP adapts src for a timing model run without LVP hardware: every
-// record carries PredNone and Annotated reports false.
-func NoLVP(src Source) AnnotatedSource { return noLVP{src} }
+// record carries PredNone and Annotated reports false. When src can
+// deliver batches, the adapter is itself an AnnotatedBatchSource.
+func NoLVP(src Source) AnnotatedSource {
+	if bs, ok := src.(BatchSource); ok {
+		return noLVPBatch{noLVP{src}, bs}
+	}
+	return noLVP{src}
+}
 
 // Reader decodes a VLT1 stream record-at-a-time. The header (name, target,
 // count) is read at construction; Next then yields each record without

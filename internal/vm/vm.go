@@ -119,21 +119,51 @@ func (s *Source) Next() (*trace.Record, error) {
 	if s.halted {
 		return nil, io.EOF
 	}
+	if err := s.step(&s.rec); err != nil {
+		return nil, err
+	}
+	return &s.rec, nil
+}
+
+// NextBatch executes up to len(buf) instructions, filling buf with their
+// records in retirement order: the batched form of Next (see
+// trace.BatchSource). It returns the number of records produced; the
+// records are the caller's to keep. After the HALT record has been
+// delivered it returns (0, io.EOF). An execution error may follow n > 0
+// already-valid records.
+func (s *Source) NextBatch(buf []trace.Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if s.halted {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if err := s.step(&buf[n]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// step executes one instruction, writing its retired record into rec.
+func (s *Source) step(rec *trace.Record) error {
 	p, m, pc := s.p, s.m, s.pc
 	gpr, fpr := &s.gpr, &s.fpr
 	if s.steps >= s.maxSteps {
-		return nil, fmt.Errorf("%w after %d instructions at pc=%#x", ErrStepLimit, s.steps, pc)
+		return fmt.Errorf("%w after %d instructions at pc=%#x", ErrStepLimit, s.steps, pc)
 	}
 	idx, ok := p.PCToIndex(pc)
 	if !ok {
-		return nil, fmt.Errorf("vm: pc %#x outside program (step %d)", pc, s.steps)
+		return fmt.Errorf("vm: pc %#x outside program (step %d)", pc, s.steps)
 	}
 	in := p.Code[idx]
-	s.rec = trace.Record{
+	*rec = trace.Record{
 		PC: pc, Op: in.Op, Rd: in.Rd, Ra: in.Ra, Rb: in.Rb,
 		Imm: in.Imm, Class: in.Class,
 	}
-	rec := &s.rec
 	nextPC := pc + isa.InstBytes
 	halt := false
 
@@ -308,7 +338,7 @@ func (s *Source) Next() (*trace.Record, error) {
 	case isa.HALT:
 		halt = true
 	default:
-		return nil, fmt.Errorf("vm: unimplemented opcode %v at pc=%#x", in.Op, pc)
+		return fmt.Errorf("vm: unimplemented opcode %v at pc=%#x", in.Op, pc)
 	}
 
 	gpr[isa.R0] = 0 // R0 is hardwired zero
@@ -329,7 +359,7 @@ func (s *Source) Next() (*trace.Record, error) {
 	} else {
 		s.pc = nextPC
 	}
-	return rec, nil
+	return nil
 }
 
 func b2u(b bool) uint64 {
