@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf serve check-serve verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo serve check-serve verify clean
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-check: build vet test race check-perf
+check: build vet test race check-perf check-zoo
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
@@ -90,6 +90,17 @@ check-stream:
 # steady-state CVU and batch paths.
 check-perf:
 	$(GO) test -count=1 -run 'TestCVUDifferential|TestCVUInvalidateAddrBoundaries|TestCVUInsertRefresh|TestCVUOpsAllocFree|NextBatch|TestPump|TestRecordBatch' ./internal/lvp/ ./internal/trace/ ./internal/vm/
+
+# Predictor-zoo gate, run standalone (uncached): the randomized two-level
+# differential against the map-based reference (predictions, confidence
+# state, and replacement victims must be decision-identical), the
+# tagged/set-associative LVPT property tests (alias freedom, LRU victim
+# order, 0-allocs gates), the stride edge cases, the checked-in zoosweep
+# golden table, serial-vs-parallel byte identity, and the served-vs-direct
+# zoo-cell identity — the concurrent sweep tests under the race detector.
+check-zoo:
+	$(GO) test -count=1 -run 'TwoLevel|Assoc|Tagged|Stride|Family|MeasureZoo|TestZoo' ./internal/lvp/ ./internal/exp/
+	$(GO) test -race -count=1 -run 'TestZoo' ./internal/exp/ ./internal/serve/
 
 # Run the experiment daemon locally (see SERVING.md for the API).
 serve:

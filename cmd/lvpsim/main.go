@@ -7,7 +7,9 @@
 //	lvpsim -exp all -parallel 8  # same output, 8 experiment workers
 //	lvpsim -exp fig6 -scale 2  # one experiment at double run length
 //	lvpsim -exp fig6 -stream   # simulation cells stream in bounded memory
+//	lvpsim -exp zoosweep -zoo stride,two-level  # restrict the predictor zoo
 //	lvpsim -list               # list experiment names
+//	lvpsim -list-zoo           # list predictor-zoo families
 //
 // Experiment cells (benchmark × target × config × machine) run on a bounded
 // worker pool; results are merged deterministically, so the output is
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"lvp/internal/exp"
+	"lvp/internal/lvp"
 	"lvp/internal/obs"
 	"lvp/internal/report"
 	"lvp/internal/version"
@@ -42,7 +45,9 @@ func main() {
 		scale       = flag.Int("scale", 1, "benchmark run-length multiplier")
 		parallel    = flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 		stream      = flag.Bool("stream", false, "run simulation cells as streaming gen→annotate→sim pipelines (bounded memory); output is identical")
+		zoo         = flag.String("zoo", "", "comma-separated predictor families for the zoosweep experiment (default: every registered family; see -list-zoo)")
 		list        = flag.Bool("list", false, "list experiments and exit")
+		listZoo     = flag.Bool("list-zoo", false, "list predictor-zoo families and exit")
 		timing      = flag.Bool("time", false, "print wall time per experiment")
 		format      = flag.String("format", "text", "output format: text or csv")
 		metrics     = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
@@ -74,6 +79,12 @@ func main() {
 		}
 		return
 	}
+	if *listZoo {
+		for _, f := range lvp.Families() {
+			fmt.Printf("%-13s %s\n", f.Name, f.Desc)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	switch *expFlag {
@@ -95,6 +106,16 @@ func main() {
 
 	s := exp.NewSuiteParallel(*scale, *parallel)
 	s.Stream = *stream
+	if *zoo != "" {
+		for _, name := range strings.Split(*zoo, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := lvp.FamilyByName(name); err != nil {
+				fmt.Fprintf(os.Stderr, "lvpsim: %v (use -list-zoo)\n", err)
+				os.Exit(2)
+			}
+			s.ZooFamilies = append(s.ZooFamilies, name)
+		}
+	}
 
 	// Wall-clock budget: run every experiment under a deadline context; on
 	// expiry the engine stops at the next cell boundary and we exit non-zero.

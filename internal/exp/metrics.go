@@ -50,6 +50,8 @@ func (s *Suite) recordAnnStats(st lvp.Stats) {
 	r.Counter("lvpt.hits").Add(st.LVPT.Hits)
 	r.Counter("lvpt.updates").Add(st.LVPT.Updates)
 	r.Counter("lvpt.replacements").Add(st.LVPT.Replacements)
+	r.Counter("lvpt.tag_miss").Add(st.LVPT.TagMisses)
+	r.Counter("lvpt.alias_evict").Add(st.LVPT.AliasEvicts)
 	r.Counter("lct.lookups").Add(st.LCT.Lookups)
 	r.Counter("lct.updates").Add(st.LCT.Updates)
 	for from := 0; from < lvp.NumClasses; from++ {
@@ -69,6 +71,22 @@ func (s *Suite) recordAnnStats(st lvp.Stats) {
 	r.Counter("cvu.evictions").Add(st.CVU.Evictions)
 	r.Counter("cvu.addr_invalidated").Add(st.CVU.AddrInvalidated)
 	r.Counter("cvu.index_invalidated").Add(st.CVU.IndexInvalidated)
+}
+
+// recordZooStats flushes one predictor-zoo cell's counters into the
+// registry. The interference totals share the lvpt.tag_miss /
+// lvpt.alias_evict counters with the unit path, so a snapshot reports table
+// interference in one place regardless of which layer observed it.
+func (s *Suite) recordZooStats(m lvp.ZooMeasure) {
+	r := s.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter("zoo.loads").Add(m.Loads)
+	r.Counter("zoo.attempts").Add(m.Attempts)
+	r.Counter("zoo.hits").Add(m.Hits)
+	r.Counter("lvpt.tag_miss").Add(m.TagMisses)
+	r.Counter("lvpt.alias_evict").Add(m.AliasEvicts)
 }
 
 // record620Stats flushes one 620/620+ simulation's counters into the

@@ -62,6 +62,8 @@ var experiments = []Experiment{
 		render(func(s *Suite) (*CVUSweepResult, error) { return s.CVUSweep(nil) })},
 	{"predictors", "extension: stride/context predictors (paper §7)", false,
 		render(func(s *Suite) (*PredictorResult, error) { return s.PredictorStudy() })},
+	{"zoosweep", "ablation: predictor-family zoo × workload sweep", false,
+		render(func(s *Suite) (*ZooResult, error) { return s.ZooSweep(nil) })},
 	{"gvl", "extension: general value locality, all results (paper §7)", false,
 		render(func(s *Suite) (*GVLResult, error) { return s.GeneralValueLocality() })},
 	{"pathlvp", "extension: branch-history-indexed LVPT (paper §7)", false,

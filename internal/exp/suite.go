@@ -69,6 +69,14 @@ type sim164Key struct {
 	noLVP bool
 }
 
+// zooKey memoizes predictor-zoo cells by benchmark and family name (a
+// family name fully determines the predictor geometry).
+type zooKey struct {
+	name   string
+	family string
+	scale  int
+}
+
 // annotated pairs an annotation with the unit stats produced alongside it,
 // so one cached build serves both Annotation and AnnotationStats callers.
 type annotated struct {
@@ -93,6 +101,10 @@ type Suite struct {
 	// Experiments that need a materialized trace (locality, annotation
 	// tables) are unaffected.
 	Stream bool
+	// ZooFamilies restricts the predictor-zoo sweep to the named
+	// families (lvpsim -zoo); empty selects every registered family.
+	// Output stays deterministic for any selection.
+	ZooFamilies []string
 
 	// Metrics receives pipeline telemetry: per-phase build timers,
 	// LVPT/LCT/CVU and machine-model counters, worker-pool occupancy.
@@ -124,6 +136,7 @@ type suiteCaches struct {
 	anns   par.Cache[annKey, annotated]
 	s620   par.Cache[sim620Key, ppc620.Stats]
 	s164   par.Cache[sim164Key, axp21164.Stats]
+	zoo    par.Cache[zooKey, ZooCell]
 }
 
 // NewSuite returns a Suite at the given scale (values below 1 are clamped)

@@ -39,11 +39,29 @@ type Config struct {
 	// CVUEntries is the capacity of the CVU's associative table; zero
 	// disables constant verification entirely.
 	CVUEntries int
+	// LVPTStyle selects the value-table organisation: "" or StyleDirect
+	// is the paper's untagged direct-mapped table; StyleTagged adds
+	// partial tags (direct-mapped, 1-way); StyleAssoc is an n-way
+	// set-associative table with partial tags and per-set LRU.
+	LVPTStyle string
+	// LVPTWays is the associativity for StyleAssoc (power of two >= 2
+	// dividing LVPTEntries); ignored otherwise.
+	LVPTWays int
+	// LVPTTagBits is the partial-tag width for the tagged/assoc styles
+	// (1..32; 0 selects DefaultTagBits). Ignored for StyleDirect.
+	LVPTTagBits int
 	// Perfect short-circuits the tables: every load value is predicted
 	// correctly, and no loads are classified as constants (paper's
 	// "Perfect" row).
 	Perfect bool
 }
+
+// LVPT organisation styles (Config.LVPTStyle).
+const (
+	StyleDirect = "direct"
+	StyleTagged = "tagged"
+	StyleAssoc  = "assoc"
+)
 
 // The four configurations of paper Table 2.
 var (
@@ -56,9 +74,33 @@ var (
 // Configs lists the paper's configurations in Table 2 order.
 var Configs = []Config{Simple, Constant, Limit, Perfect}
 
-// ByName returns the named configuration.
+// Tagged and set-associative LVPT ablations of the Simple configuration:
+// the same storage budget re-organised so aliasing becomes detectable
+// (SimpleTagged) and then avoidable (SimpleAssoc4's 4-way LRU sets). They
+// are not paper rows — Table 2 stays as published — but they are full
+// first-class configurations: annotatable, simulatable on every machine
+// model, and selectable by name in the lvpd job spec.
+var (
+	SimpleTagged = Config{Name: "SimpleTagged", LVPTEntries: 1024, HistoryDepth: 1,
+		LCTEntries: 256, LCTBits: 2, CVUEntries: 32,
+		LVPTStyle: StyleTagged, LVPTTagBits: DefaultTagBits}
+	SimpleAssoc4 = Config{Name: "SimpleAssoc4", LVPTEntries: 1024, HistoryDepth: 1,
+		LCTEntries: 256, LCTBits: 2, CVUEntries: 32,
+		LVPTStyle: StyleAssoc, LVPTWays: 4, LVPTTagBits: DefaultTagBits}
+)
+
+// AblationConfigs lists the non-paper configurations resolvable by name.
+var AblationConfigs = []Config{SimpleTagged, SimpleAssoc4}
+
+// ByName returns the named configuration, searching the paper's Table 2
+// rows first and then the registered ablation configurations.
 func ByName(name string) (Config, error) {
 	for _, c := range Configs {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	for _, c := range AblationConfigs {
 		if c.Name == name {
 			return c, nil
 		}
@@ -86,5 +128,32 @@ func (c Config) Validate() error {
 	if c.CVUEntries < 0 {
 		return fmt.Errorf("lvp: CVUEntries must be >= 0, got %d", c.CVUEntries)
 	}
+	switch c.LVPTStyle {
+	case "", StyleDirect:
+	case StyleTagged, StyleAssoc:
+		if c.LVPTTagBits < 0 || c.LVPTTagBits > 32 {
+			return fmt.Errorf("lvp: LVPTTagBits must be in [0,32], got %d", c.LVPTTagBits)
+		}
+		if c.LVPTStyle == StyleAssoc {
+			w := c.LVPTWays
+			if w < 2 || w&(w-1) != 0 || w > c.LVPTEntries {
+				return fmt.Errorf("lvp: LVPTWays must be a power of two in [2,LVPTEntries], got %d", w)
+			}
+		}
+	default:
+		return fmt.Errorf("lvp: unknown LVPTStyle %q (want %q, %q or %q)",
+			c.LVPTStyle, StyleDirect, StyleTagged, StyleAssoc)
+	}
 	return nil
+}
+
+// newValueTable builds the value table the configuration selects.
+func newValueTable(c Config) ValueTable {
+	switch c.LVPTStyle {
+	case StyleTagged:
+		return NewTaggedLVPT(c.LVPTEntries, c.HistoryDepth, c.LVPTTagBits)
+	case StyleAssoc:
+		return NewAssocLVPT(c.LVPTEntries, c.LVPTWays, c.HistoryDepth, c.LVPTTagBits)
+	}
+	return NewLVPT(c.LVPTEntries, c.HistoryDepth)
 }

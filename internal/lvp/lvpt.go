@@ -15,6 +15,35 @@ type LVPTStats struct {
 	// eviction — it is untagged, so there are no tag misses to count).
 	Updates      int64
 	Replacements int64
+	// Interference counters, populated only by the tagged/set-associative
+	// organisations (the untagged direct-mapped LVPT cannot observe its
+	// own aliasing, which is exactly the paper's silent-interference
+	// problem). TagMisses counts lookups that indexed a set holding only
+	// foreign tags — an alias the tags detected and refused to predict
+	// from. AliasEvicts counts updates that displaced a live entry with a
+	// different tag — destructive interference made visible.
+	TagMisses   int64
+	AliasEvicts int64
+}
+
+// ValueTable is the storage contract of the LVP Unit's first-level value
+// table. The untagged direct-mapped LVPT (paper §3.1) is the baseline
+// implementation; AssocLVPT provides the tagged and set-associative
+// organisations as drop-in alternatives (Config.LVPTStyle selects one).
+type ValueTable interface {
+	// Index reports the set/entry index used as the CVU coordinate.
+	Index(pc uint64) int
+	// Predict returns the MRU value for the load at pc; ok is false when
+	// the table holds no usable history for it.
+	Predict(pc uint64) (value uint64, ok bool)
+	// Contains reports whether value appears in pc's history (the perfect
+	// selection oracle for depths > 1).
+	Contains(pc, value uint64) bool
+	// Update records the actual value, reporting whether the entry's
+	// contents changed (the CVU invalidation trigger).
+	Update(pc, value uint64) (changed bool)
+	// Stats returns the accumulated event counters.
+	Stats() LVPTStats
 }
 
 // LVPT is the Load Value Prediction Table (paper §3.1): direct-mapped,

@@ -32,6 +32,9 @@ func NewLastValue(entries int) *LastValue {
 // Name implements Predictor.
 func (p *LastValue) Name() string { return "last-value" }
 
+// Lookup implements ConfidencePredictor: cold entries decline.
+func (p *LastValue) Lookup(pc uint64) (uint64, bool) { return p.t.Predict(pc) }
+
 // Predict implements Predictor.
 func (p *LastValue) Predict(pc uint64) uint64 {
 	v, _ := p.t.Predict(pc)
@@ -40,6 +43,40 @@ func (p *LastValue) Predict(pc uint64) uint64 {
 
 // Update implements Predictor.
 func (p *LastValue) Update(pc, actual uint64) { p.t.Update(pc, actual) }
+
+// TableStats implements TableStatser.
+func (p *LastValue) TableStats() LVPTStats { return p.t.Stats() }
+
+// TableValue adapts any ValueTable organisation (untagged, tagged or
+// set-associative) into a last-value Predictor, so the zoo can ablate table
+// organisation with the prediction policy held fixed.
+type TableValue struct {
+	name string
+	t    ValueTable
+}
+
+// NewTableValue wraps t as a Predictor reporting the given family name.
+func NewTableValue(name string, t ValueTable) *TableValue {
+	return &TableValue{name: name, t: t}
+}
+
+// Name implements Predictor.
+func (p *TableValue) Name() string { return p.name }
+
+// Lookup implements ConfidencePredictor: tag misses and cold sets decline.
+func (p *TableValue) Lookup(pc uint64) (uint64, bool) { return p.t.Predict(pc) }
+
+// Predict implements Predictor.
+func (p *TableValue) Predict(pc uint64) uint64 {
+	v, _ := p.t.Predict(pc)
+	return v
+}
+
+// Update implements Predictor.
+func (p *TableValue) Update(pc, actual uint64) { p.t.Update(pc, actual) }
+
+// TableStats implements TableStatser.
+func (p *TableValue) TableStats() LVPTStats { return p.t.Stats() }
 
 // Stride predicts last + stride, with a two-delta confirmation: the stride
 // is only replaced after the same new delta is seen twice in a row, which
@@ -74,6 +111,15 @@ func NewStride(entries int) *Stride {
 func (p *Stride) Name() string { return "stride" }
 
 func (p *Stride) index(pc uint64) int { return int((pc / isa.InstBytes) & p.mask) }
+
+// Lookup implements ConfidencePredictor: cold entries decline.
+func (p *Stride) Lookup(pc uint64) (uint64, bool) {
+	i := p.index(pc)
+	if !p.valid[i] {
+		return 0, false
+	}
+	return p.last[i] + p.stride[i], true
+}
 
 // Predict implements Predictor.
 func (p *Stride) Predict(pc uint64) uint64 {
@@ -143,6 +189,15 @@ func (p *Context) slot(pc uint64) int {
 	h := p.last1[i]*0x9E3779B97F4A7C15 ^ p.last2[i]*0xBF58476D1CE4E5B9 ^ pc
 	h ^= h >> 29
 	return int(h & p.pmask)
+}
+
+// Lookup implements ConfidencePredictor: untrained pattern slots decline.
+func (p *Context) Lookup(pc uint64) (uint64, bool) {
+	s := p.slot(pc)
+	if !p.pvalid[s] {
+		return 0, false
+	}
+	return p.pattern[s], true
 }
 
 // Predict implements Predictor.

@@ -84,10 +84,12 @@ func (s Stats) Coverage() float64 {
 	return float64(s.States[trace.PredCorrect]+s.States[trace.PredConstant]) / float64(s.Loads)
 }
 
-// Unit is a complete LVP Unit instance.
+// Unit is a complete LVP Unit instance. The value table is any ValueTable
+// organisation (untagged direct-mapped by default; Config.LVPTStyle selects
+// the tagged or set-associative variants).
 type Unit struct {
 	cfg   Config
-	lvpt  *LVPT
+	lvpt  ValueTable
 	lct   *LCT
 	cvu   *CVU
 	tr    *obs.Tracer
@@ -101,7 +103,7 @@ func NewUnit(cfg Config) (*Unit, error) {
 	}
 	u := &Unit{cfg: cfg, stats: Stats{Config: cfg.Name}}
 	if !cfg.Perfect {
-		u.lvpt = NewLVPT(cfg.LVPTEntries, cfg.HistoryDepth)
+		u.lvpt = newValueTable(cfg)
 		u.lct = NewLCT(cfg.LCTEntries, cfg.LCTBits)
 		u.cvu = NewCVU(cfg.CVUEntries)
 	}

@@ -42,7 +42,9 @@ const ConfigNone = "none"
 //
 //   - one simulation cell per benchmark × machine × config, in spec order;
 //   - one locality cell per benchmark × locality target, measuring value
-//     locality at the given history depths.
+//     locality at the given history depths;
+//   - one zoo cell per benchmark × predictor family, measuring that
+//     family's coverage/accuracy and table-interference counters.
 //
 // Scale multiplies benchmark run lengths (0 means 1); TimeoutMS bounds the
 // job's wall time (0 selects the server default).
@@ -52,24 +54,30 @@ type JobSpec struct {
 	Configs         []string `json:"configs,omitempty"`
 	LocalityTargets []string `json:"locality_targets,omitempty"`
 	LocalityDepths  []int    `json:"locality_depths,omitempty"`
+	Predictors      []string `json:"predictors,omitempty"`
 	Scale           int      `json:"scale,omitempty"`
 	TimeoutMS       int64    `json:"timeout_ms,omitempty"`
 }
 
-// Cell is one unit of work: a single machine simulation or one locality
-// sweep. Kind is "sim" or "locality".
+// Cell is one unit of work: a single machine simulation, one locality
+// sweep, or one predictor-zoo measurement. Kind is "sim", "locality" or
+// "zoo".
 type Cell struct {
-	Kind    string `json:"kind"`
-	Bench   string `json:"bench"`
-	Machine string `json:"machine,omitempty"`
-	Config  string `json:"config,omitempty"`
-	Target  string `json:"target,omitempty"`
-	Depths  []int  `json:"depths,omitempty"`
+	Kind      string `json:"kind"`
+	Bench     string `json:"bench"`
+	Machine   string `json:"machine,omitempty"`
+	Config    string `json:"config,omitempty"`
+	Target    string `json:"target,omitempty"`
+	Depths    []int  `json:"depths,omitempty"`
+	Predictor string `json:"predictor,omitempty"`
 }
 
 func (c Cell) String() string {
-	if c.Kind == "locality" {
+	switch c.Kind {
+	case "locality":
 		return fmt.Sprintf("locality %s/%s depths %v", c.Bench, c.Target, c.Depths)
+	case "zoo":
+		return fmt.Sprintf("zoo %s/%s", c.Bench, c.Predictor)
 	}
 	return fmt.Sprintf("sim %s/%s/%s", c.Bench, c.Machine, c.Config)
 }
@@ -110,6 +118,11 @@ func (s JobSpec) Validate() error {
 			return fmt.Errorf("serve: locality depth %d out of range (want >= 1)", d)
 		}
 	}
+	for _, p := range s.Predictors {
+		if _, err := lvp.FamilyByName(p); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
 	if (len(s.Machines) == 0) != (len(s.Configs) == 0) {
 		return fmt.Errorf("serve: machines and configs must be given together")
 	}
@@ -117,7 +130,7 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("serve: locality_targets given without locality_depths")
 	}
 	if len(s.Cells()) == 0 {
-		return fmt.Errorf("serve: job expands to zero cells (give machines+configs and/or locality_targets+locality_depths)")
+		return fmt.Errorf("serve: job expands to zero cells (give machines+configs, locality_targets+locality_depths, and/or predictors)")
 	}
 	if s.Scale < 0 {
 		return fmt.Errorf("serve: scale %d out of range", s.Scale)
@@ -130,7 +143,8 @@ func (s JobSpec) Validate() error {
 
 // Cells expands the spec into its deterministic cell list: simulation cells
 // first (benchmark-major, then machine, then config, all in spec order),
-// then locality cells (benchmark-major, then target).
+// then locality cells (benchmark-major, then target), then predictor-zoo
+// cells (benchmark-major, then family).
 func (s JobSpec) Cells() []Cell {
 	var cells []Cell
 	for _, b := range s.Benchmarks {
@@ -143,6 +157,11 @@ func (s JobSpec) Cells() []Cell {
 	for _, b := range s.Benchmarks {
 		for _, tg := range s.LocalityTargets {
 			cells = append(cells, Cell{Kind: "locality", Bench: b, Target: tg, Depths: s.LocalityDepths})
+		}
+	}
+	for _, b := range s.Benchmarks {
+		for _, p := range s.Predictors {
+			cells = append(cells, Cell{Kind: "zoo", Bench: b, Predictor: p})
 		}
 	}
 	return cells
@@ -196,6 +215,12 @@ func computeCell(s *exp.Suite, c Cell) (json.RawMessage, error) {
 			return nil, err
 		}
 		return json.Marshal(locality.Measure(t, locality.DefaultEntries, c.Depths...))
+	case "zoo":
+		cell, err := s.ZooCell(c.Bench, c.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cell)
 	}
 	return nil, fmt.Errorf("serve: unknown cell kind %q", c.Kind)
 }

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lvp/internal/exp"
+)
+
+// TestZooCellsByteIdentity extends the serving acceptance gate to the
+// predictor-zoo cells: an in-process lvpd serves a benchmark × family job
+// and every streamed payload is byte-identical to json.Marshal of the same
+// exp.ZooCell computed directly. It also pins the cell expansion order
+// (benchmark-major, families in spec order, after any sim/locality cells).
+func TestZooCellsByteIdentity(t *testing.T) {
+	mgr := NewManager(Config{Workers: 4})
+	defer shutdownNow(t, mgr)
+	srv := httptest.NewServer(NewHandler(mgr))
+	defer srv.Close()
+	httpc := srv.Client()
+
+	spec := JobSpec{
+		Benchmarks: []string{"quick", "gawk"},
+		Predictors: []string{"two-level", "lv-tagged-16", "stride"},
+	}
+	wantOrder := []Cell{
+		{Kind: "zoo", Bench: "quick", Predictor: "two-level"},
+		{Kind: "zoo", Bench: "quick", Predictor: "lv-tagged-16"},
+		{Kind: "zoo", Bench: "quick", Predictor: "stride"},
+		{Kind: "zoo", Bench: "gawk", Predictor: "two-level"},
+		{Kind: "zoo", Bench: "gawk", Predictor: "lv-tagged-16"},
+		{Kind: "zoo", Bench: "gawk", Predictor: "stride"},
+	}
+
+	st, resp := submit(t, httpc, srv.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if st.Cells != len(wantOrder) {
+		t.Fatalf("job has %d cells, want %d", st.Cells, len(wantOrder))
+	}
+
+	events := streamEvents(t, httpc, srv.URL, st.ID)
+	if len(events) != len(wantOrder)+1 {
+		t.Fatalf("stream has %d events, want %d cells + done", len(events), len(wantOrder))
+	}
+	if last := events[len(events)-1]; last.Type != "done" || last.State != StateDone {
+		t.Fatalf("terminal event = %+v, want done/done", last)
+	}
+
+	direct := exp.NewSuiteParallel(1, 4)
+	for i, ev := range events[:len(wantOrder)] {
+		if ev.Type != "cell" || ev.Index != i {
+			t.Fatalf("event %d = %+v, want cell event in index order", i, ev)
+		}
+		if ev.Error != "" {
+			t.Fatalf("cell %d (%s) failed: %s", i, ev.Cell, ev.Error)
+		}
+		cell := *ev.Cell
+		if cell.Kind != wantOrder[i].Kind || cell.Bench != wantOrder[i].Bench ||
+			cell.Predictor != wantOrder[i].Predictor {
+			t.Fatalf("cell %d = %+v, want %+v", i, cell, wantOrder[i])
+		}
+		dc, err := direct.ZooCell(cell.Bench, cell.Predictor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(dc)
+		if !bytes.Equal(ev.Result, want) {
+			t.Errorf("cell %d (%s): served bytes differ from direct computation\n served: %s\n direct: %s",
+				i, cell, ev.Result, want)
+		}
+		// The payload must be self-describing on the wire.
+		var decoded exp.ZooCell
+		if err := json.Unmarshal(ev.Result, &decoded); err != nil {
+			t.Fatalf("cell %d payload does not decode as ZooCell: %v", i, err)
+		}
+		if decoded.Family != cell.Predictor || decoded.Bench != cell.Bench || decoded.Loads == 0 {
+			t.Fatalf("cell %d payload implausible: %+v", i, decoded)
+		}
+	}
+}
+
+// TestZooSpecValidation sweeps the zoo-specific rejection paths and the
+// mixed-kind expansion order (zoo cells come last).
+func TestZooSpecValidation(t *testing.T) {
+	if err := (JobSpec{Benchmarks: []string{"quick"}, Predictors: []string{"nope"}}).Validate(); err == nil {
+		t.Fatal("unknown predictor family accepted")
+	}
+	// A predictors-only job is a valid spec (it alone yields cells).
+	if err := (JobSpec{Benchmarks: []string{"quick"}, Predictors: []string{"stride"}}).Validate(); err != nil {
+		t.Fatalf("predictors-only spec rejected: %v", err)
+	}
+
+	mixed := JobSpec{
+		Benchmarks:      []string{"quick"},
+		Machines:        []string{Machine21164},
+		Configs:         []string{ConfigNone},
+		LocalityTargets: []string{"ppc"},
+		LocalityDepths:  []int{1},
+		Predictors:      []string{"stride"},
+	}
+	cells := mixed.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("mixed spec expands to %d cells, want 3", len(cells))
+	}
+	if cells[0].Kind != "sim" || cells[1].Kind != "locality" || cells[2].Kind != "zoo" {
+		t.Fatalf("mixed cell order = %s, %s, %s; want sim, locality, zoo",
+			cells[0].Kind, cells[1].Kind, cells[2].Kind)
+	}
+	if got := cells[2].String(); got != "zoo quick/stride" {
+		t.Fatalf("zoo Cell.String() = %q", got)
+	}
+}
