@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo serve check-serve verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo check-obs serve check-serve verify clean
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-check: build vet test race check-perf check-zoo
+check: build vet test race check-perf check-zoo check-obs
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
@@ -101,6 +101,16 @@ check-perf:
 check-zoo:
 	$(GO) test -count=1 -run 'TwoLevel|Assoc|Tagged|Stride|Family|MeasureZoo|TestZoo' ./internal/lvp/ ./internal/exp/
 	$(GO) test -race -count=1 -run 'TestZoo' ./internal/exp/ ./internal/serve/
+
+# Serving-telemetry gate, run standalone (uncached): the disabled-path
+# overhead contract (0 allocs/op for histogram Observe and scope-less span
+# calls, tracer two-compares-when-off), Prometheus exposition conformance
+# (parse-back, cumulative buckets, label escaping), the span-channel golden
+# schema, the timeline endpoint e2e, and the tracing-on byte-identity gate —
+# then the concurrency tests again under the race detector.
+check-obs:
+	$(GO) test -count=1 -run 'Histogram|Span|Prometheus|Timeline|AccessLog|RequestID|TracingOn|Publish|BucketBounds|BucketIndex|FlightRecorder' ./internal/obs/ ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestHistogramConcurrent|TestSpanConcurrent|TestConcurrentPublish|TestTracingOnIdentity' ./internal/obs/ ./internal/serve/
 
 # Run the experiment daemon locally (see SERVING.md for the API).
 serve:

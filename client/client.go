@@ -32,6 +32,11 @@ type (
 	Cell = serve.Cell
 	// Event is one line of a job's NDJSON result stream.
 	Event = serve.Event
+	// Timeline is a job's span timeline (serve.Timeline): the spans the
+	// server's per-job flight recorder still holds, ordered by start time.
+	Timeline = serve.Timeline
+	// TimelineSpan is one completed span in a Timeline.
+	TimelineSpan = serve.TimelineSpan
 )
 
 // Job states, re-exported for switch statements on JobStatus.State.
@@ -268,6 +273,17 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	return st, nil
+}
+
+// Timeline fetches a job's span timeline — the per-job flight record behind
+// GET /v1/jobs/{id}/timeline. It works for running and finished jobs alike
+// and does not require tracing to be enabled on the server.
+func (c *Client) Timeline(ctx context.Context, id string) (Timeline, error) {
+	var tl Timeline
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/timeline", nil, &tl); err != nil {
+		return Timeline{}, err
+	}
+	return tl, nil
 }
 
 // Ready reports whether the server is accepting jobs (readyz).

@@ -7,6 +7,8 @@
 //
 //	lvpd -addr :8347
 //	lvpd -addr :8347 -queue 32 -runners 4 -job-timeout 10m
+//	lvpd -addr :8347 -access-log                     # structured request log
+//	lvpd -addr :8347 -trace span,pipeline -trace-out events.jsonl
 //
 // Results served by lvpd are byte-identical to the same cells computed by
 // lvpsim / exp.Suite directly: the daemon runs the same engine behind the
@@ -25,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"lvp/internal/obs"
 	"lvp/internal/serve"
 	"lvp/internal/version"
 )
@@ -40,6 +43,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound before jobs are cancelled")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on queue-full rejections")
 		maxScale     = flag.Int("max-scale", 8, "largest accepted benchmark scale")
+		accessLog    = flag.Bool("access-log", false, "log one structured line per HTTP request on stderr")
+		traceFlag    = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline,span or 'all')")
+		traceOut     = flag.String("trace-out", "", "write trace events (JSONL) to this file (default stderr)")
+		flightSpans  = flag.Int("flight-spans", 0, "spans kept per job for /v1/jobs/{id}/timeline (0 = default)")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -49,7 +56,7 @@ func main() {
 	}
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	mgr := serve.NewManager(serve.Config{
+	cfg := serve.Config{
 		QueueDepth:     *queue,
 		Runners:        *runners,
 		Workers:        *workers,
@@ -57,7 +64,30 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,
 		MaxScale:       *maxScale,
-	})
+		FlightSpans:    *flightSpans,
+	}
+	if *accessLog {
+		cfg.AccessLog = log
+	}
+	if *traceFlag != "" {
+		mask, err := obs.ParseChannels(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpd: %v\n", err)
+			os.Exit(2)
+		}
+		sink := os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lvpd: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			sink = f
+		}
+		cfg.Tracer = obs.NewTracer(sink, mask)
+	}
+	mgr := serve.NewManager(cfg)
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: serve.NewHandler(mgr),

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -51,7 +52,7 @@ func main() {
 		timing      = flag.Bool("time", false, "print wall time per experiment")
 		format      = flag.String("format", "text", "output format: text or csv")
 		metrics     = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
-		traceFlag   = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline or 'all')")
+		traceFlag   = flag.String("trace", "", "comma-separated trace channels to enable (lvpt,lct,cvu,cache,sim,pipeline,span or 'all')")
 		traceOut    = flag.String("trace-out", "", "write trace events (JSONL) to this file (default stderr)")
 		progress    = flag.Bool("progress", false, "print a live cell-completion line on stderr")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address while running")
@@ -119,13 +120,16 @@ func main() {
 
 	// Wall-clock budget: run every experiment under a deadline context; on
 	// expiry the engine stops at the next cell boundary and we exit non-zero.
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		s = s.WithContext(ctx)
 	}
 
-	// Structured event tracing: parse channels, open the sink.
+	// Structured event tracing: parse channels, open the sink. When the
+	// span channel is enabled, install a trace scope so experiment and
+	// engine-phase spans stream to the sink as JSONL "span" events.
 	if *traceFlag != "" {
 		mask, err := obs.ParseChannels(*traceFlag)
 		if err != nil {
@@ -143,7 +147,9 @@ func main() {
 			sink = f
 		}
 		s.Tracer = obs.NewTracer(sink, mask)
+		ctx = obs.WithTrace(ctx, obs.NewTraceID(), s.Tracer, nil)
 	}
+	s = s.WithContext(ctx)
 
 	if *pprofAddr != "" {
 		s.Metrics.Publish("lvp")
@@ -162,7 +168,9 @@ func main() {
 			continue
 		}
 		expStart := time.Now()
-		err := e.Run(s, os.Stdout)
+		ectx, endExp := obs.StartSpan(ctx, "exp", slog.String("name", e.Name))
+		err := e.Run(s.WithContext(ectx), os.Stdout)
+		endExp()
 		s.Metrics.Timer("exp." + e.Name).Observe(time.Since(expStart))
 		if err != nil {
 			stopProgress()

@@ -228,13 +228,17 @@ func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
 }
 
 // finishPhase records one completed pipeline build: its wall time under the
-// phase.<phase> timer, a progress.<phase> completion count, and — with the
-// pipeline trace channel enabled — one event carrying the cell's identity
-// and duration.
+// phase.<phase> timer and the phase.<phase>.wall_ns latency histogram, a
+// progress.<phase> completion count, a span on the suite context's trace
+// scope (parented under the requesting job's cell span when one is live),
+// and — with the pipeline trace channel enabled — one event carrying the
+// cell's identity and duration.
 func (s *Suite) finishPhase(phase string, start time.Time, attrs ...slog.Attr) {
 	elapsed := time.Since(start)
 	s.Metrics.Timer("phase." + phase).Observe(elapsed)
+	s.Metrics.Histogram("phase." + phase + ".wall_ns").Observe(int64(elapsed))
 	s.Metrics.Counter("progress." + phase).Inc()
+	obs.CompleteSpan(s.context(), phase, start, attrs...)
 	if s.Tracer.Enabled(obs.ChanPipeline) {
 		attrs = append(attrs, slog.String("phase", phase),
 			slog.Int64("wall_us", elapsed.Microseconds()))

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The check-obs overhead gates: telemetry left compiled into hot paths must
+// cost nothing when disabled (the tracer's "two compares when off"
+// discipline, extended to histograms and spans), and the enabled histogram
+// path must stay allocation-free so serving seams can observe per-request.
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	var h Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); allocs != 0 {
+		t.Errorf("enabled Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+	var nilH *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { nilH.Observe(12345) }); allocs != 0 {
+		t.Errorf("nil Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanDisabledNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_, end := StartSpan(ctx, "x")
+		end()
+	}); allocs != 0 {
+		t.Errorf("scope-less StartSpan allocates %.1f/op, want 0", allocs)
+	}
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		CompleteSpan(ctx, "x", start)
+	}); allocs != 0 {
+		t.Errorf("scope-less CompleteSpan allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		WithTrace(ctx, "t", nil, nil)
+	}); allocs != 0 {
+		t.Errorf("sink-less WithTrace allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHistogramObserve and BenchmarkStartSpanDisabled keep the
+// overhead visible in `go test -bench` runs.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, end := StartSpan(ctx, "x")
+		end()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	ctx := WithTrace(context.Background(), "t", nil, NewFlightRecorder(64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, end := StartSpan(ctx, "x")
+		end()
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundsMonotone checks the bucket layout is a proper partition:
+// bounds strictly increase, and every bound maps back into its own bucket.
+func TestBucketBoundsMonotone(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		b := bucketBound(i)
+		if b <= prev {
+			t.Fatalf("bucketBound(%d) = %d, not above bucketBound(%d) = %d", i, b, i-1, prev)
+		}
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bucketIndex(bucketBound(%d)=%d) = %d, want %d", i, b, got, i)
+		}
+		// The next representable value belongs to the next bucket.
+		if i+1 < histBuckets {
+			if got := bucketIndex(b + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", b+1, got, i+1)
+			}
+		}
+		prev = b
+	}
+}
+
+// TestBucketIndexKnownValues pins the layout: exact buckets below histSub,
+// then histSub sub-buckets per octave.
+func TestBucketIndexKnownValues(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3},
+		{4, 4}, {5, 5}, {6, 6}, {7, 7},
+		{8, 8}, {9, 8}, {10, 9}, {15, 11},
+		{16, 12}, {100, 22}, {1 << 62, 244},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileError checks the structural guarantee: for any
+// sample, the reported bucket bound is within 1/histSub relative error of
+// the true value (12.5% at histSubBits=2).
+func TestHistogramQuantileError(t *testing.T) {
+	for _, v := range []int64{1, 7, 100, 999, 12345, 1 << 20, 987654321} {
+		b := bucketBound(bucketIndex(v))
+		if b < v {
+			t.Fatalf("bound %d below sample %d", b, v)
+		}
+		if float64(b-v) > float64(v)/float64(histSub)+1 {
+			t.Errorf("sample %d: bound %d overshoots by more than 1/%d", v, b, histSub)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Errorf("Count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Errorf("Sum = %d, want 500500", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Errorf("Max = %d, want 1000", s.Max)
+	}
+	// Quantiles are upper-bound estimates: at or above the true quantile,
+	// within one bucket width (12.5%).
+	checks := []struct {
+		name      string
+		got, true int64
+	}{
+		{"p50", s.P50, 500}, {"p90", s.P90, 900}, {"p99", s.P99, 990}, {"p999", s.P999, 999},
+	}
+	for _, c := range checks {
+		if c.got < c.true {
+			t.Errorf("%s = %d, below true quantile %d", c.name, c.got, c.true)
+		}
+		if float64(c.got) > float64(c.true)*1.25 {
+			t.Errorf("%s = %d, more than 25%% above true quantile %d", c.name, c.got, c.true)
+		}
+	}
+	// Bucket counts must add up to Count (the Prometheus +Inf invariant).
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != Count %d", total, s.Count)
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || len(s.Buckets) != 1 || s.Buckets[0].LE != 0 {
+		t.Errorf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1000)
+	}
+	b.Observe(5000)
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 201 {
+		t.Errorf("merged Count = %d, want 201", s.Count)
+	}
+	if want := int64(100*10 + 100*1000 + 5000); s.Sum != want {
+		t.Errorf("merged Sum = %d, want %d", s.Sum, want)
+	}
+	if s.Max != 5000 {
+		t.Errorf("merged Max = %d, want 5000", s.Max)
+	}
+	// Merging must be bucket-exact: the merged snapshot equals observing
+	// the combined sample set directly.
+	var c Histogram
+	for i := 0; i < 100; i++ {
+		c.Observe(10)
+		c.Observe(1000)
+	}
+	c.Observe(5000)
+	cs := c.Snapshot()
+	if len(cs.Buckets) != len(s.Buckets) {
+		t.Fatalf("merged buckets %v != direct buckets %v", s.Buckets, cs.Buckets)
+	}
+	for i := range cs.Buckets {
+		if cs.Buckets[i] != s.Buckets[i] {
+			t.Errorf("bucket %d: merged %+v != direct %+v", i, s.Buckets[i], cs.Buckets[i])
+		}
+	}
+}
+
+// TestNilHistogram checks the nil handle is a full no-op, like every other
+// registry handle.
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.Merge(nil)
+	h.Start()()
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("nil histogram snapshot not empty: %+v", s)
+	}
+	var r *Registry
+	if r.Histogram("x") != nil {
+		t.Error("nil registry returned non-nil histogram")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from 64 goroutines and
+// checks no sample is lost (run under -race via make check-obs).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, perG = 64, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if want := int64(goroutines*perG) * int64(goroutines*perG-1) / 2; s.Sum != want {
+		t.Errorf("Sum = %d, want %d", s.Sum, want)
+	}
+	if want := int64(goroutines*perG - 1); s.Max != want {
+		t.Errorf("Max = %d, want %d", s.Max, want)
+	}
+}

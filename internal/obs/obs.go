@@ -9,7 +9,7 @@
 // instrumentation costs nothing to leave in place.
 //
 // Event tracing is organised into named channels (lvpt, lct, cvu, cache,
-// sim, pipeline), enabled as a bitmask. When a channel is off, the only cost
+// sim, pipeline, span), enabled as a bitmask. When a channel is off, the only cost
 // at an emission site is a nil check and a mask test — the attributes are
 // never materialised. When on, events are JSONL records written through
 // log/slog, one line per event, safe for concurrent emitters.
@@ -44,13 +44,16 @@ const (
 	// ChanPipeline traces experiment-engine phases: trace builds,
 	// annotations, simulations, with wall times.
 	ChanPipeline
+	// ChanSpan traces request-scoped spans (span.go): one event per
+	// completed span with trace/span/parent IDs, start offset and duration.
+	ChanSpan
 
 	// ChanNone is the empty mask.
 	ChanNone Channel = 0
 )
 
 // ChanAll enables every channel.
-const ChanAll = ChanLVPT | ChanLCT | ChanCVU | ChanCache | ChanSim | ChanPipeline
+const ChanAll = ChanLVPT | ChanLCT | ChanCVU | ChanCache | ChanSim | ChanPipeline | ChanSpan
 
 // channelNames maps flag names to bits, in display order.
 var channelNames = []struct {
@@ -63,6 +66,7 @@ var channelNames = []struct {
 	{"cache", ChanCache},
 	{"sim", ChanSim},
 	{"pipeline", ChanPipeline},
+	{"span", ChanSpan},
 }
 
 // String renders the mask as a comma-separated channel list.

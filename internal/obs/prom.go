@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Zero-dependency Prometheus text exposition (format version 0.0.4). The
+// registry's flat metric names map onto Prometheus families:
+//
+//	counter  a.b.c        -> <ns>_a_b_c_total    (counter)
+//	gauge    a.b.c        -> <ns>_a_b_c          (gauge) + <ns>_a_b_c_max
+//	timer    a.b.c        -> <ns>_a_b_c_ns       (summary: _sum/_count)
+//	histogram a.b.c_ns    -> <ns>_a_b_c_ns       (histogram: _bucket/_sum/_count)
+//
+// A registry name may carry a trailing label block in the form produced by
+// LabeledName — base{k1="v1",...} — which becomes the sample's label set;
+// series of one family group under a single # TYPE line. Output is
+// deterministic: families sort by name, label sets by their rendered form,
+// histogram buckets ascend and end at le="+Inf".
+
+// LabeledName renders base plus key/value label pairs in the registry's
+// labeled-name form, base{k1="v1",k2="v2"}, escaping label values per the
+// exposition format (backslash, double quote, newline). Keys must be valid
+// Prometheus label names ([a-zA-Z_][a-zA-Z0-9_]*); the caller owns that, as
+// labels come from code, never from request data.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabels separates a registry name into its base and the raw label
+// block ("" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// sanitizeMetricName maps a registry base name onto the Prometheus metric
+// name charset [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSample is one exposition line under a family: name+suffix{labels} value.
+type promSample struct {
+	suffix string
+	labels string
+	value  string
+}
+
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+// promBuilder accumulates families in deterministic order.
+type promBuilder struct {
+	byName map[string]*promFamily
+}
+
+func (p *promBuilder) family(name, typ string) *promFamily {
+	f := p.byName[name]
+	if f == nil {
+		f = &promFamily{name: name, typ: typ}
+		p.byName[name] = f
+	}
+	return f
+}
+
+func (f *promFamily) add(suffix, labels, value string) {
+	f.samples = append(f.samples, promSample{suffix: suffix, labels: labels, value: value})
+}
+
+// mergeLabels appends extra to a (possibly empty) raw label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders the registry as Prometheus exposition text under
+// the given namespace prefix ("lvp" conventionally). Values are exported in
+// their native units — durations are nanoseconds, flagged by the `_ns` name
+// suffix — since the scraper's rate()/histogram_quantile() are unit-agnostic.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	snap := r.Snapshot()
+	ns := ""
+	if namespace != "" {
+		ns = sanitizeMetricName(namespace) + "_"
+	}
+	p := &promBuilder{byName: map[string]*promFamily{}}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		base, labels := splitLabels(name)
+		f := p.family(ns+sanitizeMetricName(base)+"_total", "counter")
+		f.add("", labels, strconv.FormatInt(snap.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, labels := splitLabels(name)
+		g := snap.Gauges[name]
+		fname := ns + sanitizeMetricName(base)
+		p.family(fname, "gauge").add("", labels, strconv.FormatInt(g.Value, 10))
+		p.family(fname+"_max", "gauge").add("", labels, strconv.FormatInt(g.Max, 10))
+	}
+	for _, name := range sortedKeys(snap.Timers) {
+		base, labels := splitLabels(name)
+		t := snap.Timers[name]
+		f := p.family(ns+sanitizeMetricName(base)+"_ns", "summary")
+		f.add("_sum", labels, strconv.FormatInt(t.TotalNS, 10))
+		f.add("_count", labels, strconv.FormatInt(t.Count, 10))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		base, labels := splitLabels(name)
+		h := snap.Histograms[name]
+		f := p.family(ns+sanitizeMetricName(base), "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := `le="` + strconv.FormatInt(b.LE, 10) + `"`
+			f.add("_bucket", mergeLabels(labels, le), strconv.FormatInt(cum, 10))
+		}
+		f.add("_bucket", mergeLabels(labels, `le="+Inf"`), strconv.FormatInt(h.Count, 10))
+		f.add("_sum", labels, strconv.FormatInt(h.Sum, 10))
+		f.add("_count", labels, strconv.FormatInt(h.Count, 10))
+	}
+
+	names := make([]string, 0, len(p.byName))
+	for name := range p.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := p.byName[name]
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.samples {
+			bw.WriteString(f.name)
+			bw.WriteString(s.suffix)
+			if s.labels != "" {
+				bw.WriteByte('{')
+				bw.WriteString(s.labels)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(s.value)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promMetric is one parsed exposition line: name{labels} value.
+type promMetric struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a minimal exposition-format parser used to check our output
+// the way a scraper would read it: TYPE lines per family, then samples. It
+// fails the test on any line it cannot parse.
+func parseProm(t *testing.T, text string) (types map[string]string, metrics []promMetric) {
+	t.Helper()
+	types = map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln, line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln, parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comments are legal
+		}
+		m := promMetric{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			m.name = rest[:i]
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label block %q", ln, line)
+			}
+			parseLabels(t, ln, rest[i+1:j], m.labels)
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample %q", ln, line)
+			}
+			m.name, rest = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln, line, err)
+		}
+		m.value = v
+		metrics = append(metrics, m)
+	}
+	return types, metrics
+}
+
+// parseLabels decodes a raw label block, undoing the escaping rules.
+func parseLabels(t *testing.T, ln int, s string, into map[string]string) {
+	t.Helper()
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			t.Fatalf("line %d: label block %q missing '='", ln, s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			t.Fatalf("line %d: label %q value not quoted", ln, key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					t.Fatalf("line %d: bad escape \\%c", ln, s[i])
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			t.Fatalf("line %d: unterminated label value for %q", ln, key)
+		}
+		i++ // closing quote
+		into[key] = val.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				t.Fatalf("line %d: expected ',' after label %q", ln, key)
+			}
+			i++
+		}
+	}
+}
+
+// baseFamily strips the per-sample suffixes so a sample can be matched to
+// its TYPE-declared family.
+func baseFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if typ := types[base]; typ == "histogram" || typ == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// TestPrometheusConformance renders a registry with every metric kind and
+// re-parses the output, checking the invariants a real scraper relies on.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.submitted").Add(7)
+	r.Gauge("serve.queue.depth").Set(3)
+	r.Timer("phase.trace").Observe(1500 * time.Nanosecond)
+	h := r.Histogram("serve.job.wall_ns")
+	for _, v := range []int64{100, 1000, 1000, 50000} {
+		h.Observe(v)
+	}
+	r.Histogram(LabeledName("http.request.duration_ns",
+		"route", "POST /v1/jobs", "status", "202")).Observe(250)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	types, metrics := parseProm(t, buf.String())
+
+	// Every sample's family must have a TYPE declaration.
+	for _, m := range metrics {
+		if _, ok := types[baseFamily(m.name, types)]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", m.name)
+		}
+	}
+
+	find := func(name string, want map[string]string) *promMetric {
+		for i := range metrics {
+			if metrics[i].name != name {
+				continue
+			}
+			match := true
+			for k, v := range want {
+				if metrics[i].labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return &metrics[i]
+			}
+		}
+		return nil
+	}
+
+	if m := find("lvp_serve_jobs_submitted_total", nil); m == nil || m.value != 7 {
+		t.Errorf("counter sample wrong: %+v", m)
+	}
+	if types["lvp_serve_jobs_submitted_total"] != "counter" {
+		t.Error("counter family not typed counter")
+	}
+	if m := find("lvp_serve_queue_depth", nil); m == nil || m.value != 3 {
+		t.Errorf("gauge sample wrong: %+v", m)
+	}
+	if m := find("lvp_phase_trace_ns_sum", nil); m == nil || m.value != 1500 {
+		t.Errorf("timer _sum wrong: %+v", m)
+	}
+	if types["lvp_phase_trace_ns"] != "summary" {
+		t.Error("timer family not typed summary")
+	}
+
+	// Histogram: buckets must be cumulative, in ascending le order, ending
+	// at le="+Inf" equal to _count; _sum equals the observed total.
+	if types["lvp_serve_job_wall_ns"] != "histogram" {
+		t.Fatal("histogram family not typed histogram")
+	}
+	var buckets []promMetric
+	for _, m := range metrics {
+		if m.name == "lvp_serve_job_wall_ns_bucket" {
+			buckets = append(buckets, m)
+		}
+	}
+	if len(buckets) < 2 {
+		t.Fatalf("got %d histogram buckets, want >= 2", len(buckets))
+	}
+	le := func(m promMetric) float64 {
+		s := m.labels["le"]
+		if s == "+Inf" {
+			return float64(1 << 62)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bucket has bad le %q", s)
+		}
+		return v
+	}
+	if !sort.SliceIsSorted(buckets, func(a, b int) bool { return le(buckets[a]) < le(buckets[b]) }) {
+		t.Error("histogram buckets not in ascending le order")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].value < buckets[i-1].value {
+			t.Errorf("bucket counts not cumulative: le=%s count %v < le=%s count %v",
+				buckets[i].labels["le"], buckets[i].value,
+				buckets[i-1].labels["le"], buckets[i-1].value)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Errorf("last bucket le = %q, want +Inf", last.labels["le"])
+	}
+	count := find("lvp_serve_job_wall_ns_count", nil)
+	if count == nil || count.value != 4 || last.value != count.value {
+		t.Errorf("+Inf bucket %v != _count %+v (want 4)", last.value, count)
+	}
+	if sum := find("lvp_serve_job_wall_ns_sum", nil); sum == nil || sum.value != 52100 {
+		t.Errorf("histogram _sum wrong: %+v", sum)
+	}
+
+	// Labeled histogram: route/status labels survive the round trip.
+	lb := find("lvp_http_request_duration_ns_count",
+		map[string]string{"route": "POST /v1/jobs", "status": "202"})
+	if lb == nil || lb.value != 1 {
+		t.Errorf("labeled histogram _count wrong: %+v", lb)
+	}
+}
+
+// TestPrometheusLabelEscaping round-trips label values containing every
+// escaped character through the renderer and the parser.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := `quote " backslash \ newline` + "\n" + `end`
+	r.Counter(LabeledName("weird.metric", "v", hostile)).Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Errorf("raw newline leaked into exposition:\n%s", buf.String())
+	}
+	_, metrics := parseProm(t, buf.String())
+	if len(metrics) != 1 {
+		t.Fatalf("got %d samples, want 1", len(metrics))
+	}
+	if got := metrics[0].labels["v"]; got != hostile {
+		t.Errorf("label value round trip: got %q, want %q", got, hostile)
+	}
+}
+
+// TestPrometheusDeterminism checks two renders of the same registry are
+// byte-identical (families and labels sort).
+func TestPrometheusDeterminism(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.last", "a.first", "m.middle"} {
+		r.Counter(n).Inc()
+		r.Histogram(n + "_ns").Observe(42)
+	}
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of one registry differ")
+	}
+}
+
+// TestPrometheusEmptyRegistry checks the degenerate cases render cleanly.
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry rendered %q", buf.String())
+	}
+	// A histogram with zero observations still renders a consistent family.
+	r := NewRegistry()
+	r.Histogram("empty_ns")
+	buf.Reset()
+	if err := r.WritePrometheus(&buf, "lvp"); err != nil {
+		t.Fatal(err)
+	}
+	_, metrics := parseProm(t, buf.String())
+	for _, m := range metrics {
+		if m.value != 0 {
+			t.Errorf("empty histogram sample %q = %v, want 0", m.name, m.value)
+		}
+	}
+}

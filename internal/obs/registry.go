@@ -160,6 +160,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -168,6 +169,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -231,6 +233,26 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // GaugeSnapshot is one gauge's frozen state.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`
@@ -250,17 +272,19 @@ type TimerSnapshot struct {
 // renders map keys sorted, so the serialized form is deterministic for a
 // given set of metric values.
 type Snapshot struct {
-	Counters map[string]int64         `json:"counters"`
-	Gauges   map[string]GaugeSnapshot `json:"gauges"`
-	Timers   map[string]TimerSnapshot `json:"timers"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Timers     map[string]TimerSnapshot     `json:"timers"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot freezes the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]GaugeSnapshot{},
-		Timers:   map[string]TimerSnapshot{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Timers:     map[string]TimerSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -287,6 +311,9 @@ func (r *Registry) Snapshot() Snapshot {
 		t.mu.Unlock()
 		s.Timers[name] = ts
 	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
 	return s
 }
 
@@ -297,12 +324,25 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// publishMu serializes Publish calls: expvar.Publish panics on a duplicate
+// name, and the get-then-publish pair is not atomic on its own, so two
+// concurrent registries publishing the same name could both pass the Get
+// check. The mutex makes duplicate registration — sequential or concurrent,
+// from tests or embedded users constructing many registries — a plain no-op
+// (first publisher wins).
+var publishMu sync.Mutex
+
 // Publish registers the registry under name in the process-wide expvar map
 // (served at /debug/vars by the pprof endpoint). Publishing the same name
 // twice is a no-op rather than the expvar.Publish panic, so repeated runs in
 // one process are safe.
 func (r *Registry) Publish(name string) {
-	if r == nil || expvar.Get(name) != nil {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
 		return
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))

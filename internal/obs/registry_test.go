@@ -112,6 +112,10 @@ func TestSnapshotGoldenSchema(t *testing.T) {
 	tm := r.Timer("phase.trace")
 	tm.Observe(2 * time.Millisecond)
 	tm.Observe(4 * time.Millisecond)
+	h := r.Histogram("serve.job.wall_ns")
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(100)
 
 	const want = `{
   "counters": {
@@ -131,6 +135,31 @@ func TestSnapshotGoldenSchema(t *testing.T) {
       "min_ns": 2000000,
       "max_ns": 4000000,
       "avg_ns": 3000000
+    }
+  },
+  "histograms": {
+    "serve.job.wall_ns": {
+      "count": 3,
+      "sum": 105,
+      "max": 100,
+      "p50": 3,
+      "p90": 111,
+      "p99": 111,
+      "p999": 111,
+      "buckets": [
+        {
+          "le": 2,
+          "count": 1
+        },
+        {
+          "le": 3,
+          "count": 1
+        },
+        {
+          "le": 111,
+          "count": 1
+        }
+      ]
     }
   }
 }
@@ -165,4 +194,27 @@ func TestNilRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Publish("nil-registry") // must not panic or publish
+}
+
+// TestPublishDuplicate re-publishes the same expvar name sequentially;
+// expvar.Publish would panic, Registry.Publish must no-op (first wins).
+func TestPublishDuplicate(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Publish("obs-test-dup")
+	b.Publish("obs-test-dup") // must not panic
+	a.Publish("obs-test-dup") // nor on a repeat from the same registry
+}
+
+// TestConcurrentPublish races many registries publishing one name: the
+// get-then-publish window must be closed (run under -race via check-obs).
+func TestConcurrentPublish(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			NewRegistry().Publish("obs-test-concurrent-dup")
+		}()
+	}
+	wg.Wait()
 }

@@ -10,15 +10,19 @@ import (
 
 // API summary (see SERVING.md for schemas and examples):
 //
-//	POST   /v1/jobs              submit a JobSpec → 202 JobStatus
-//	GET    /v1/jobs              list jobs (submission order)
-//	GET    /v1/jobs/{id}         one job's status
-//	GET    /v1/jobs/{id}/results NDJSON event stream (Event per line)
-//	DELETE /v1/jobs/{id}         request cancellation
-//	GET    /metrics              metrics-registry snapshot (JSON)
-//	GET    /healthz              liveness  (200 while the process runs)
-//	GET    /readyz               readiness (503 once draining)
+//	POST   /v1/jobs               submit a JobSpec → 202 JobStatus
+//	GET    /v1/jobs               list jobs (submission order)
+//	GET    /v1/jobs/{id}          one job's status
+//	GET    /v1/jobs/{id}/results  NDJSON event stream (Event per line)
+//	GET    /v1/jobs/{id}/timeline span timeline from the job's flight recorder
+//	DELETE /v1/jobs/{id}          request cancellation
+//	GET    /metrics               metrics snapshot (JSON; ?format=prometheus
+//	                              for Prometheus text exposition)
+//	GET    /healthz               liveness  (200 while the process runs)
+//	GET    /readyz                readiness (503 once draining)
 //
+// Every response carries an X-Request-Id (adopted from the request when sane,
+// minted otherwise); a submission's request ID becomes the job's trace ID.
 // Backpressure: a full job queue answers 429 with a Retry-After hint; a
 // draining server answers 503 for submissions and readiness.
 
@@ -39,6 +43,14 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, job.Status())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) { handleResults(m, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Timeline())
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Cancel(r.PathValue("id")); err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -53,6 +65,11 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		m.FinalizeMetrics()
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			m.Metrics().WritePrometheus(w, "lvp")
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		m.Metrics().WriteJSON(w)
 	})
@@ -66,7 +83,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		fmt.Fprintln(w, "ready")
 	})
-	return mux
+	return withTelemetry(m, m.cfg.AccessLog, mux)
 }
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
@@ -77,7 +94,7 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job spec: %w", err))
 		return
 	}
-	job, err := m.Submit(spec)
+	job, err := m.SubmitTraced(spec, RequestIDFromContext(r.Context()))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(m)))

@@ -23,6 +23,7 @@ import (
 	"lvp/internal/exp"
 	"lvp/internal/locality"
 	"lvp/internal/lvp"
+	"lvp/internal/obs"
 	"lvp/internal/prog"
 )
 
@@ -237,6 +238,7 @@ const (
 // JobStatus is the wire form of a job's lifecycle snapshot.
 type JobStatus struct {
 	ID        string    `json:"id"`
+	TraceID   string    `json:"trace_id,omitempty"`
 	State     string    `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Cells     int       `json:"cells"`
@@ -272,6 +274,14 @@ type Job struct {
 	ID    string
 	Spec  JobSpec
 	Cells []Cell
+	// TraceID is the job's request-scoped trace identity: the X-Request-Id
+	// of the submitting HTTP request (minted server-side otherwise). Spans
+	// recorded for the job carry it, and the timeline endpoint reports it.
+	TraceID string
+
+	// rec is the job's span flight recorder: a bounded ring of completed
+	// spans, always on, backing GET /v1/jobs/{id}/timeline.
+	rec *obs.FlightRecorder
 
 	mu        sync.Mutex
 	state     string
@@ -287,11 +297,13 @@ type Job struct {
 	done      chan struct{}   // closed when the job reaches a terminal state
 }
 
-func newJob(id string, spec JobSpec, cells []Cell, now time.Time) *Job {
+func newJob(id, traceID string, spec JobSpec, cells []Cell, flightSpans int, now time.Time) *Job {
 	j := &Job{
 		ID:       id,
 		Spec:     spec,
 		Cells:    cells,
+		TraceID:  traceID,
+		rec:      obs.NewFlightRecorder(flightSpans),
 		state:    StateQueued,
 		created:  now,
 		outcomes: make([]cellOutcome, len(cells)),
@@ -310,6 +322,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	return JobStatus{
 		ID:        j.ID,
+		TraceID:   j.TraceID,
 		State:     j.state,
 		Error:     j.errMsg,
 		Cells:     len(j.Cells),

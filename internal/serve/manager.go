@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +47,16 @@ type Config struct {
 	// Metrics receives serving and engine telemetry; nil allocates a
 	// fresh registry.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, emits structured JSONL events from the engine
+	// and the span layer on its enabled channels (lvpd -trace/-trace-out).
+	// Observability never affects job results.
+	Tracer *obs.Tracer
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request (lvpd -access-log).
+	AccessLog *slog.Logger
+	// FlightSpans bounds each job's span flight recorder (<= 0 selects
+	// obs.DefaultFlightSpans).
+	FlightSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,17 +157,26 @@ func (m *Manager) suiteLocked(scale int) *exp.Suite {
 			s.MaxSteps = m.cfg.MaxSteps
 		}
 		// All suites report into the manager's registry so /metrics is
-		// one snapshot across every scale.
+		// one snapshot across every scale, and share the manager's
+		// tracer so engine events carry through served jobs.
 		s.Metrics = m.metrics
+		s.Tracer = m.cfg.Tracer
 		m.suites[scale] = s
 	}
 	return s
 }
 
-// Submit validates and enqueues a job. It never blocks: a full queue
-// returns ErrQueueFull immediately (the backpressure contract), a draining
-// manager returns ErrDraining.
+// Submit validates and enqueues a job with a freshly minted trace ID. It
+// never blocks: a full queue returns ErrQueueFull immediately (the
+// backpressure contract), a draining manager returns ErrDraining.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with an explicit trace identity: the HTTP layer
+// passes the request's X-Request-Id so the ID echoed to the client is the ID
+// on the job's spans and timeline. An empty traceID mints one.
+func (m *Manager) SubmitTraced(spec JobSpec, traceID string) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		m.metrics.Counter("serve.jobs.invalid").Inc()
 		return nil, err
@@ -168,6 +188,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		m.metrics.Counter("serve.jobs.invalid").Inc()
 		return nil, fmt.Errorf("serve: scale %d exceeds maximum %d", spec.Scale, m.cfg.MaxScale)
 	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -176,7 +199,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	m.nextID++
-	job := newJob(fmt.Sprintf("job-%06d", m.nextID), spec, spec.Cells(), time.Now())
+	job := newJob(fmt.Sprintf("job-%06d", m.nextID), traceID, spec, spec.Cells(), m.cfg.FlightSpans, time.Now())
 	select {
 	case m.queue <- job:
 	default:
@@ -285,7 +308,11 @@ func (m *Manager) jobTimeout(spec JobSpec) time.Duration {
 }
 
 // runJob executes every cell of one job on the shared suite under the
-// job's own context, then moves the job to its terminal state.
+// job's own context, then moves the job to its terminal state. The context
+// carries the job's trace scope, so engine phase spans land in the job's
+// flight recorder (and on the tracer's span channel when enabled): a root
+// "job" span, a "queue-wait" span for time spent in the admission queue,
+// and one "cell" span per cell parenting the engine's phase spans.
 func (m *Manager) runJob(job *Job) {
 	m.mu.Lock()
 	suite := m.suiteLocked(job.Spec.Scale)
@@ -313,10 +340,20 @@ func (m *Manager) runJob(job *Job) {
 	m.metrics.Gauge("serve.jobs.running").Acquire()
 	defer m.metrics.Gauge("serve.jobs.running").Release()
 
-	view := suite.WithContext(ctx)
-	stop := m.metrics.Timer("serve.job.wall").Start()
-	err := par.ForEachCtx(ctx, m.cfg.Workers, len(job.Cells), func(i int) error {
-		res, cerr := computeCell(view, job.Cells[i])
+	ctx = obs.WithTrace(ctx, job.TraceID, m.cfg.Tracer, job.rec)
+	jctx, endJob := obs.StartSpan(ctx, "job",
+		slog.String("id", job.ID), slog.Int("cells", len(job.Cells)))
+	queueWait := time.Since(job.created)
+	obs.CompleteSpan(jctx, "queue-wait", job.created)
+	m.metrics.Histogram("serve.job.queue_wait_ns").Observe(int64(queueWait))
+
+	view := suite.WithContext(jctx)
+	jobStart := time.Now()
+	err := par.ForEachCtx(jctx, m.cfg.Workers, len(job.Cells), func(i int) error {
+		cctx, endCell := obs.StartSpan(jctx, "cell",
+			slog.Int("index", i), slog.String("cell", job.Cells[i].String()))
+		res, cerr := computeCell(view.WithContext(cctx), job.Cells[i])
+		endCell()
 		job.setOutcome(i, res, cerr)
 		if cerr != nil {
 			m.metrics.Counter("serve.cells.failed").Inc()
@@ -325,7 +362,7 @@ func (m *Manager) runJob(job *Job) {
 		m.metrics.Counter("serve.cells.done").Inc()
 		return nil
 	})
-	stop()
+	m.metrics.Histogram("serve.job.wall_ns").Observe(int64(time.Since(jobStart)))
 
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -347,6 +384,7 @@ func (m *Manager) runJob(job *Job) {
 		m.metrics.Counter("serve.jobs.completed").Inc()
 	}
 	job.mu.Unlock()
+	endJob()
 	close(job.done)
 }
 

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lvp/internal/obs"
+)
+
+// HTTP telemetry middleware: every request gets a request ID (minted, or
+// adopted from a sane inbound X-Request-Id) echoed on the response and
+// carried in the request context — job submissions adopt it as the job's
+// trace ID, so the ID on the wire is the ID in the job's span timeline. The
+// middleware also feeds the per-route/per-status latency histograms
+// (http.request.duration_ns{route=...,status=...}) and, when configured,
+// writes one structured access-log line per request.
+
+// requestIDKey carries the request ID through the request context.
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request's ID, or "" outside a request
+// handled by the telemetry middleware.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// maxRequestIDLen bounds adopted inbound request IDs.
+const maxRequestIDLen = 64
+
+// sanitizeRequestID accepts an inbound ID only if it is non-empty, bounded,
+// and drawn from a conservative charset (so IDs are safe to echo into
+// headers, logs and JSONL traces verbatim); anything else is discarded and
+// a fresh ID is minted instead.
+func sanitizeRequestID(s string) string {
+	if s == "" || len(s) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// statusWriter captures the response status and body size while preserving
+// http.Flusher — the NDJSON result stream depends on per-line flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry wraps the API mux with request IDs, latency histograms and
+// the optional access log. It must wrap the mux directly: the route label
+// is the ServeMux pattern, which the mux sets on the request while serving
+// it.
+func withTelemetry(m *Manager, accessLog *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
+
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := strconv.Itoa(sw.status)
+		m.metrics.Histogram(obs.LabeledName("http.request.duration_ns",
+			"route", route, "status", status)).Observe(int64(elapsed))
+		if accessLog != nil {
+			accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("request_id", rid))
+		}
+	})
+}

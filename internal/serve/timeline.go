@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sort"
+	"time"
+)
+
+// Timeline is the wire form of a job's span flight record
+// (GET /v1/jobs/{id}/timeline): every span the job's bounded recorder still
+// holds, ordered by start time. It is available for any job the manager
+// knows — running, finished, cancelled — without tracing having been
+// enabled, which is what makes a stuck or failed job post-mortemable.
+type Timeline struct {
+	Job   string `json:"job"`
+	Trace string `json:"trace_id"`
+	State string `json:"state"`
+	// Dropped counts spans the bounded recorder evicted; when > 0 the
+	// timeline is the most recent window, not the whole job.
+	Dropped int64          `json:"dropped,omitempty"`
+	Spans   []TimelineSpan `json:"spans"`
+}
+
+// TimelineSpan is one completed span: Parent refers to another span's ID
+// (0 = the root). Attrs carry the span's structured attributes (cell
+// identity, benchmark names, record counts).
+type TimelineSpan struct {
+	ID         uint64         `json:"id"`
+	Parent     uint64         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Timeline snapshots the job's flight recorder, ordered by span start time
+// (ties by span ID, so the order is total and stable).
+func (j *Job) Timeline() Timeline {
+	st := j.Status()
+	spans, dropped := j.rec.Snapshot()
+	tl := Timeline{
+		Job:     j.ID,
+		Trace:   j.TraceID,
+		State:   st.State,
+		Dropped: dropped,
+		Spans:   make([]TimelineSpan, 0, len(spans)),
+	}
+	for _, s := range spans {
+		ts := TimelineSpan{
+			ID:         s.ID,
+			Parent:     s.Parent,
+			Name:       s.Name,
+			Start:      s.Start,
+			DurationNS: int64(s.Duration),
+		}
+		if len(s.Attrs) > 0 {
+			ts.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ts.Attrs[a.Key] = a.Value.Resolve().Any()
+			}
+		}
+		tl.Spans = append(tl.Spans, ts)
+	}
+	sort.SliceStable(tl.Spans, func(a, b int) bool {
+		if !tl.Spans[a].Start.Equal(tl.Spans[b].Start) {
+			return tl.Spans[a].Start.Before(tl.Spans[b].Start)
+		}
+		return tl.Spans[a].ID < tl.Spans[b].ID
+	})
+	return tl
+}
