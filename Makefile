@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo check-obs serve check-serve verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo check-obs serve check-serve check-dist verify clean
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-check: build vet test race check-perf check-zoo check-obs
+check: build vet test race check-perf check-zoo check-obs check-dist
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
@@ -121,6 +121,17 @@ serve:
 # race detector.
 check-serve:
 	$(GO) test -race -count=1 ./internal/serve/ ./client/
+
+# Distributed-mode gate, run standalone (uncached) under the race detector:
+# a coordinator fronting two in-process workers must stream NDJSON
+# byte-identical to a single-node daemon — including with a worker killed
+# mid-job (failover + goroutine-leak check) — plus the content-addressed
+# store (LRU, disk persistence, restart-hit acceptance), the /v1/cells
+# worker endpoint, readiness-body placement inputs, per-tenant admission,
+# and the jittered-backoff distribution bounds in the client.
+check-dist:
+	$(GO) test -race -count=1 ./internal/dist/
+	$(GO) test -race -count=1 -run 'TestExecCell|TestReadyz|TestTenant|TestStore|TestCellValidate|TestJitter|TestReadinessDecodes' ./internal/serve/ ./client/
 
 verify: check
 

@@ -13,12 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
+	"lvp/internal/obs"
 	"lvp/internal/serve"
 )
 
@@ -37,6 +39,11 @@ type (
 	Timeline = serve.Timeline
 	// TimelineSpan is one completed span in a Timeline.
 	TimelineSpan = serve.TimelineSpan
+	// Readiness is the parsed /readyz body: up/down plus the queue-depth
+	// and in-flight load signals behind least-loaded placement.
+	Readiness = serve.Readiness
+	// CellRequest is the wire form of the internal cell-execution endpoint.
+	CellRequest = serve.CellRequest
 )
 
 // Job states, re-exported for switch statements on JobStatus.State.
@@ -50,22 +57,30 @@ const (
 
 // RetryPolicy caps and paces a client's retries. The delay before retry n
 // (0-based) is BaseDelay·2ⁿ, capped at MaxDelay; a server Retry-After hint
-// overrides the computed delay when larger.
+// overrides the computed delay when larger. With Jitter set, the computed
+// delay is full-jittered — drawn uniformly from [0, BaseDelay·2ⁿ] — so a
+// fleet of clients (or a coordinator's worker RPCs) recovering from the
+// same rejection never retries in lockstep; the Retry-After hint stays a
+// hard floor under the jittered value.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (first attempt included).
 	// Values below 1 mean 1 (no retries).
 	MaxAttempts int
 	BaseDelay   time.Duration
 	MaxDelay    time.Duration
+	// Jitter enables full-jitter on the capped-exponential delay.
+	Jitter bool
 }
 
-// DefaultRetry is the policy New installs: 5 attempts, 100ms–2s backoff.
-var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+// DefaultRetry is the policy New installs: 5 attempts, 100ms–2s backoff,
+// full-jitter.
+var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: true}
 
 func (p RetryPolicy) attempts() int { return max(1, p.MaxAttempts) }
 
-// delay computes the pause before retry attempt (0-based), with the
-// server's Retry-After hint (0 if absent) taking precedence when larger.
+// delay computes the deterministic pause before retry attempt (0-based),
+// with the server's Retry-After hint (0 if absent) taking precedence when
+// larger. Jitter is applied on top by sleepFor.
 func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
 	d := p.BaseDelay << attempt
 	if p.BaseDelay > 0 && d < p.BaseDelay { // shift overflow
@@ -77,12 +92,25 @@ func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration 
 	return max(d, retryAfter)
 }
 
+// sleepFor is the pause actually slept before retry attempt (0-based):
+// the capped-exponential delay, full-jittered when the policy asks for it,
+// never below the server's Retry-After hint.
+func (p RetryPolicy) sleepFor(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.delay(attempt, retryAfter)
+	if !p.Jitter || d <= 0 {
+		return d
+	}
+	jittered := time.Duration(rand.Int64N(int64(p.delay(attempt, 0)) + 1))
+	return max(jittered, retryAfter)
+}
+
 // Client talks to one lvpd instance. The zero value is not usable; call
 // New.
 type Client struct {
-	base  *url.URL
-	http  *http.Client
-	retry RetryPolicy
+	base   *url.URL
+	http   *http.Client
+	retry  RetryPolicy
+	tenant string
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -101,6 +129,10 @@ func (c *Client) WithRetry(p RetryPolicy) *Client { c.retry = p; return c }
 // WithHTTPClient replaces the underlying *http.Client and returns the
 // client.
 func (c *Client) WithHTTPClient(h *http.Client) *Client { c.http = h; return c }
+
+// WithTenant sets the X-Tenant header sent on every request, identifying
+// the caller to the server's per-tenant admission quotas.
+func (c *Client) WithTenant(tenant string) *Client { c.tenant = tenant; return c }
 
 // StatusError is a non-2xx API response.
 type StatusError struct {
@@ -137,7 +169,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, c.retry.delay(attempt-1, retryAfterHint(lastErr))); err != nil {
+			if err := sleep(ctx, c.retry.sleepFor(attempt-1, retryAfterHint(lastErr))); err != nil {
 				return err
 			}
 		}
@@ -180,6 +212,15 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte) (*h
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace identity (a coordinator dispatching a
+	// cell passes the job's span context) so worker-side spans parent under
+	// the same trace ID, and the tenant identity for quota accounting.
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
 	}
 	return c.http.Do(req)
 }
@@ -291,6 +332,45 @@ func (c *Client) Ready(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
+// Readiness fetches the /readyz body in a single non-retried probe — the
+// health-check primitive behind a coordinator's least-loaded placement. The
+// body decodes on 200 and 503 alike (a draining server still reports its
+// state); only transport or decode failures error.
+func (c *Client) Readiness(ctx context.Context) (Readiness, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return Readiness{}, err
+	}
+	data, code, err := readAll(resp)
+	if err != nil {
+		return Readiness{}, err
+	}
+	if code != http.StatusOK && code != http.StatusServiceUnavailable {
+		return Readiness{}, &StatusError{Code: code, Message: apiError(data)}
+	}
+	var rd Readiness
+	if err := json.Unmarshal(data, &rd); err != nil {
+		return Readiness{}, fmt.Errorf("client: bad readiness body: %w", err)
+	}
+	return rd, nil
+}
+
+// ExecCell executes one cell synchronously on the server (the internal
+// coordinator→worker RPC behind POST /v1/cells) and returns the raw result
+// JSON verbatim — the bytes a coordinator merges must be exactly the bytes
+// the worker produced. Transient failures retry under the client's policy.
+func (c *Client) ExecCell(ctx context.Context, cell Cell, scale int) (json.RawMessage, error) {
+	body, err := json.Marshal(CellRequest{Cell: cell, Scale: scale})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding cell: %w", err)
+	}
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodPost, "/v1/cells", body, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Stream follows a job's NDJSON result stream, calling fn for every event
 // (cells in index order, then the terminal "done" event). fn returning an
 // error stops the stream and returns that error. Connecting is retried
@@ -300,7 +380,7 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, c.retry.delay(attempt-1, retryAfterHint(lastErr))); err != nil {
+			if err := sleep(ctx, c.retry.sleepFor(attempt-1, retryAfterHint(lastErr))); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lvp/internal/serve"
+)
+
+// TestJitteredBackoffBounds pins the full-jitter distribution: every
+// jittered sleep falls in [0, BaseDelay·2ⁿ] (capped), and over many draws
+// both halves of that range are exercised — the whole point is that a
+// recovering worker is not hit by synchronized retries.
+func TestJitteredBackoffBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: true}
+	const n = 2000
+	ceiling := 400 * time.Millisecond // attempt 2: 100ms·2² uncapped
+	var low, high int
+	for i := 0; i < n; i++ {
+		d := p.sleepFor(2, 0)
+		if d < 0 || d > ceiling {
+			t.Fatalf("jittered delay %v outside [0, %v]", d, ceiling)
+		}
+		if d < ceiling/2 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("no spread across the jitter range: %d low, %d high of %d draws", low, high, n)
+	}
+}
+
+// TestJitterRespectsRetryAfter pins the floor: the server's Retry-After
+// hint is never undercut by jitter.
+func TestJitterRespectsRetryAfter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: true}
+
+	// Hint above the computed ceiling: the sleep is exactly the hint.
+	for i := 0; i < 100; i++ {
+		if d := p.sleepFor(0, 300*time.Millisecond); d != 300*time.Millisecond {
+			t.Fatalf("sleepFor(0, 300ms) = %v, want exactly 300ms", d)
+		}
+	}
+	// Hint inside the jitter range: the sleep stays within [hint, ceiling].
+	for i := 0; i < 1000; i++ {
+		d := p.sleepFor(2, 150*time.Millisecond)
+		if d < 150*time.Millisecond || d > 400*time.Millisecond {
+			t.Fatalf("sleepFor(2, 150ms) = %v outside [150ms, 400ms]", d)
+		}
+	}
+}
+
+// TestJitterOffIsDeterministic pins that a policy without Jitter sleeps the
+// exact capped-exponential schedule (the contract TestBackoffDelays pins
+// for delay).
+func TestJitterOffIsDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 0; attempt < 5; attempt++ {
+		for _, ra := range []time.Duration{0, 250 * time.Millisecond, 3 * time.Second} {
+			if got, want := p.sleepFor(attempt, ra), p.delay(attempt, ra); got != want {
+				t.Errorf("sleepFor(%d, %v) = %v, want %v", attempt, ra, got, want)
+			}
+		}
+	}
+}
+
+// TestExecCellPreservesBytes pins the RPC the coordinator's byte-identity
+// rests on: the result bytes come back verbatim, whitespace and all.
+func TestExecCellPreservesBytes(t *testing.T) {
+	const raw = `{"b":2,"a":1}` // key order a server-side re-encode would destroy
+	var gotReq serve.CellRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/cells" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&gotReq); err != nil {
+			t.Errorf("bad cell request: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(raw))
+	}))
+	defer srv.Close()
+
+	cell := Cell{Kind: "sim", Bench: "quick", Machine: serve.Machine21164, Config: serve.ConfigNone}
+	res, err := newTestClient(t, srv).ExecCell(context.Background(), cell, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != raw {
+		t.Errorf("ExecCell returned %q, want verbatim %q", res, raw)
+	}
+	if gotReq.Cell.String() != cell.String() || gotReq.Scale != 2 {
+		t.Errorf("server saw request %+v, want cell %+v scale 2", gotReq, cell)
+	}
+}
+
+// TestReadinessDecodesDraining pins that Readiness parses the body on both
+// 200 and 503 — a draining worker still reports its state to the
+// coordinator's health loop.
+func TestReadinessDecodesDraining(t *testing.T) {
+	for _, tc := range []struct {
+		code  int
+		ready bool
+	}{
+		{http.StatusOK, true},
+		{http.StatusServiceUnavailable, false},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(tc.code)
+			json.NewEncoder(w).Encode(serve.Readiness{Ready: tc.ready, Draining: !tc.ready, QueueDepth: 3, RunningJobs: 1, InFlightCells: 2})
+		}))
+		rd, err := newTestClient(t, srv).Readiness(context.Background())
+		srv.Close()
+		if err != nil {
+			t.Fatalf("Readiness on %d: %v", tc.code, err)
+		}
+		if rd.Ready != tc.ready || rd.Load() != 6 {
+			t.Errorf("Readiness on %d = %+v, want ready=%v load=6", tc.code, rd, tc.ready)
+		}
+	}
+}
+
+// TestTenantHeaderSent pins WithTenant: the X-Tenant header rides on every
+// request.
+func TestTenantHeaderSent(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("X-Tenant")
+		json.NewEncoder(w).Encode([]JobStatus{})
+	}))
+	defer srv.Close()
+
+	if _, err := newTestClient(t, srv).WithTenant("acme").List(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "acme" {
+		t.Errorf("server saw X-Tenant %q, want acme", got)
+	}
+}

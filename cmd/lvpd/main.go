@@ -9,10 +9,15 @@
 //	lvpd -addr :8347 -queue 32 -runners 4 -job-timeout 10m
 //	lvpd -addr :8347 -access-log                     # structured request log
 //	lvpd -addr :8347 -trace span,pipeline -trace-out events.jsonl
+//	lvpd -addr :8347 -store-dir /var/lib/lvpd       # persistent result store
+//	lvpd -coordinator -workers host1:8347,host2:8347,host3:8347
 //
 // Results served by lvpd are byte-identical to the same cells computed by
 // lvpsim / exp.Suite directly: the daemon runs the same engine behind the
-// same single-flight caches, shared across requests.
+// same single-flight caches, shared across requests. In -coordinator mode
+// cells are dispatched to the worker fleet instead of computed locally, and
+// the merged stream keeps the same byte-identity (see SERVING.md,
+// "Distributed mode").
 package main
 
 import (
@@ -24,9 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"lvp/internal/dist"
 	"lvp/internal/obs"
 	"lvp/internal/serve"
 	"lvp/internal/version"
@@ -37,7 +45,14 @@ func main() {
 		addr         = flag.String("addr", ":8347", "listen address")
 		queue        = flag.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
 		runners      = flag.Int("runners", 2, "jobs executed concurrently")
-		workers      = flag.Int("workers", 0, "per-job cell fan-out bound (0 = GOMAXPROCS)")
+		workers      = flag.String("workers", "", "per-job cell fan-out bound (integer, default GOMAXPROCS); with -coordinator, the comma-separated worker base URLs (host:port or http://host:port)")
+		coordinator  = flag.Bool("coordinator", false, "run as fleet coordinator: dispatch cells to the -workers fleet instead of simulating locally")
+		cellAttempts = flag.Int("cell-attempts", dist.DefaultAttempts, "coordinator: per-cell attempt cap across workers")
+		healthEvery  = flag.Duration("health-interval", dist.DefaultHealthInterval, "coordinator: worker /readyz probe period")
+		storeDir     = flag.String("store-dir", "", "persist the content-addressed result store under this directory (survives restarts)")
+		storeEntries = flag.Int("store-entries", 0, "in-memory result-store LRU capacity (0 = default; store disabled only when both store flags are unset)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant job admission rate (jobs/sec via X-Tenant token buckets; 0 = quotas off)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = default)")
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Minute, "cap on client-requested job timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound before jobs are cancelled")
@@ -56,15 +71,53 @@ func main() {
 	}
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	metrics := obs.NewRegistry()
 	cfg := serve.Config{
 		QueueDepth:     *queue,
 		Runners:        *runners,
-		Workers:        *workers,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,
 		MaxScale:       *maxScale,
 		FlightSpans:    *flightSpans,
+		Metrics:        metrics,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+	}
+
+	// -workers is overloaded: an integer fan-out bound on a single node,
+	// the fleet address list under -coordinator.
+	var workerList []string
+	if *coordinator {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerList = append(workerList, w)
+			}
+		}
+		if len(workerList) == 0 {
+			fmt.Fprintln(os.Stderr, "lvpd: -coordinator needs -workers host1,host2,...")
+			os.Exit(2)
+		}
+	} else if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpd: -workers %q: want an integer fan-out bound (or -coordinator with worker URLs)\n", *workers)
+			os.Exit(2)
+		}
+		cfg.Workers = n
+	}
+
+	if *storeDir != "" || *storeEntries > 0 {
+		store, err := dist.NewStore(dist.StoreConfig{
+			Entries: *storeEntries,
+			Dir:     *storeDir,
+			Metrics: metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Store = store
 	}
 	if *accessLog {
 		cfg.AccessLog = log
@@ -87,6 +140,25 @@ func main() {
 		}
 		cfg.Tracer = obs.NewTracer(sink, mask)
 	}
+
+	var co *dist.Coordinator
+	if *coordinator {
+		var err error
+		co, err = dist.New(dist.Config{
+			Workers:        workerList,
+			Attempts:       *cellAttempts,
+			HealthInterval: *healthEvery,
+			Metrics:        metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.CellRunner = co.RunCell
+		co.Start()
+		defer co.Stop()
+	}
+
 	mgr := serve.NewManager(cfg)
 	srv := &http.Server{
 		Addr:    *addr,
@@ -98,7 +170,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("lvpd listening", "addr", *addr, "queue", *queue, "runners", *runners)
+		if co != nil {
+			log.Info("lvpd coordinating", "addr", *addr, "workers", workerList, "queue", *queue, "runners", *runners)
+		} else {
+			log.Info("lvpd listening", "addr", *addr, "queue", *queue, "runners", *runners)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,305 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lvp/client"
+	"lvp/internal/obs"
+	"lvp/internal/serve"
+)
+
+// The coordinator is the other half of distributed lvpd: a serve.CellRunner
+// that fans a job's cells out across a fleet of ordinary lvpd workers over
+// the internal cell-execution endpoint, reusing the client package's
+// Retry-After-aware, jittered backoff for each RPC. Placement is
+// least-loaded (each worker's /readyz-reported queue depth and in-flight
+// counts plus our own outstanding dispatches), liveness is a periodic
+// health probe plus immediate demotion on dispatch failure, and a per-cell
+// attempt cap bounds how long a cell can bounce between dying workers.
+//
+// Determinism is inherited rather than re-proven: workers return the
+// canonical result bytes (the same json.Marshal the local engine produces),
+// the Manager merges them into index-addressed slots, and the NDJSON stream
+// emits them in cell-index order — so coordinator output is byte-identical
+// to a single-node exp.Suite run no matter which worker computed what, or
+// how many times a cell was reassigned.
+
+// ErrNoWorkers is returned when no healthy worker is available to place a
+// cell on.
+var ErrNoWorkers = errors.New("dist: no healthy workers")
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers is the fleet: one base URL per lvpd worker process
+	// ("host:port" normalizes to "http://host:port"). Required.
+	Workers []string
+	// NewClient builds the per-worker client; nil selects client.New with
+	// the default (jittered) retry policy. Tests inject fault-scoped
+	// clients here.
+	NewClient func(base string) (*client.Client, error)
+	// Attempts caps how many workers one cell may be tried on before the
+	// cell fails (<= 0 selects DefaultAttempts).
+	Attempts int
+	// HealthInterval paces the /readyz probe loop (<= 0 selects
+	// DefaultHealthInterval).
+	HealthInterval time.Duration
+	// Metrics receives dist.dispatch.* counters, the per-worker latency
+	// histograms and the healthy-worker gauge; nil disables collection.
+	Metrics *obs.Registry
+}
+
+// DefaultAttempts is the per-cell attempt cap when none is given.
+const DefaultAttempts = 3
+
+// DefaultHealthInterval is the probe period when none is given.
+const DefaultHealthInterval = 2 * time.Second
+
+// worker is one fleet member plus the coordinator's view of it.
+type worker struct {
+	name string
+	c    *client.Client
+
+	// healthy is the probe/dispatch verdict; workers start healthy so the
+	// first dispatch window before the first probe completes is usable.
+	healthy atomic.Bool
+	// load is the worker's last /readyz-reported placement score.
+	load atomic.Int64
+	// outstanding counts our own in-flight dispatches to this worker, so
+	// placement reacts faster than the probe period.
+	outstanding atomic.Int64
+
+	latency *obs.Histogram
+}
+
+// Coordinator shards cells across a worker fleet. Its RunCell method is a
+// serve.CellRunner, so plugging it into a Manager turns that daemon into
+// the coordinator of a distributed lvpd deployment.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	metrics *obs.Registry
+
+	ok, retries, failed *obs.Counter
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a coordinator over cfg.Workers. It does not start the health
+// loop; call Start.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one worker")
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = DefaultAttempts
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = client.New
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		ok:      cfg.Metrics.Counter("dist.dispatch.ok"),
+		retries: cfg.Metrics.Counter("dist.dispatch.retry"),
+		failed:  cfg.Metrics.Counter("dist.dispatch.failed"),
+		stopc:   make(chan struct{}),
+	}
+	for _, addr := range cfg.Workers {
+		base := normalizeWorkerURL(addr)
+		c, err := newClient(base)
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %q: %w", addr, err)
+		}
+		w := &worker{
+			name:    base,
+			c:       c,
+			latency: cfg.Metrics.Histogram(obs.LabeledName("dist.worker.latency_ns", "worker", base)),
+		}
+		w.healthy.Store(true)
+		co.workers = append(co.workers, w)
+	}
+	return co, nil
+}
+
+// normalizeWorkerURL accepts "host:port" shorthand for "http://host:port".
+func normalizeWorkerURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// Start launches the background health loop: every HealthInterval each
+// worker's /readyz is probed, refreshing its health verdict and placement
+// load. An immediate probe round runs first so placement has real load data
+// as soon as Start returns.
+func (co *Coordinator) Start() {
+	co.probeAll()
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		t := time.NewTicker(co.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-co.stopc:
+				return
+			case <-t.C:
+				co.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the health loop and waits for it. Safe to call more than once;
+// in-flight RunCell calls are unaffected (they stop via their contexts).
+func (co *Coordinator) Stop() {
+	co.stopOnce.Do(func() { close(co.stopc) })
+	co.wg.Wait()
+}
+
+// probeAll refreshes every worker's health and load concurrently, bounded
+// by the probe period so a hung worker cannot stall the loop.
+func (co *Coordinator) probeAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), co.cfg.HealthInterval)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, w := range co.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rd, err := w.c.Readiness(ctx)
+			if err != nil || !rd.Ready {
+				w.healthy.Store(false)
+				return
+			}
+			w.load.Store(int64(rd.Load()))
+			w.healthy.Store(true)
+		}(w)
+	}
+	wg.Wait()
+	healthy := int64(0)
+	for _, w := range co.workers {
+		if w.healthy.Load() {
+			healthy++
+		}
+	}
+	co.metrics.Gauge("dist.workers.healthy").Set(healthy)
+}
+
+// Healthy reports how many workers the last probes considered alive.
+func (co *Coordinator) Healthy() int {
+	n := 0
+	for _, w := range co.workers {
+		if w.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pick chooses the least-loaded healthy worker outside the excluded set
+// (workers that already failed this cell), scoring by reported load plus
+// our own outstanding dispatches. Ties break toward the earlier worker in
+// the configured list.
+func (co *Coordinator) pick(exclude map[*worker]bool) *worker {
+	var best *worker
+	var bestLoad int64
+	for _, w := range co.workers {
+		if exclude[w] || !w.healthy.Load() {
+			continue
+		}
+		load := w.load.Load() + w.outstanding.Load()
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// RunCell is the serve.CellRunner: place the cell on the least-loaded
+// healthy worker, reassigning to the next-best worker on transient failure
+// up to the per-cell attempt cap. Invalid-cell rejections (4xx other than
+// 429) fail immediately — no fleet can make a bad cell succeed. A worker
+// that fails a dispatch is demoted until a health probe readmits it, so one
+// dead worker costs each affected cell one reassignment, not a retry storm.
+func (co *Coordinator) RunCell(ctx context.Context, cell serve.Cell, scale int) (json.RawMessage, error) {
+	var lastErr error
+	failed := map[*worker]bool{}
+	for attempt := 0; attempt < co.cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w := co.pick(failed)
+		if w == nil && len(failed) > 0 {
+			// Every healthy worker already failed this cell; clear the
+			// exclusion so the cap — not the fleet size — ends the loop.
+			clear(failed)
+			w = co.pick(failed)
+		}
+		if w == nil {
+			lastErr = ErrNoWorkers
+			co.retries.Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(co.cfg.HealthInterval):
+			}
+			continue
+		}
+		res, err := co.dispatch(ctx, w, cell, scale)
+		if err == nil {
+			co.ok.Inc()
+			return res, nil
+		}
+		lastErr = err
+		if fatal(err) {
+			co.failed.Inc()
+			return nil, err
+		}
+		failed[w] = true
+		w.healthy.Store(false)
+		co.retries.Inc()
+	}
+	co.failed.Inc()
+	return nil, fmt.Errorf("dist: cell %s gave up after %d attempts: %w", cell, co.cfg.Attempts, lastErr)
+}
+
+// dispatch sends one cell to one worker under a dispatch span, feeding the
+// per-worker latency histogram either way.
+func (co *Coordinator) dispatch(ctx context.Context, w *worker, cell serve.Cell, scale int) (json.RawMessage, error) {
+	w.outstanding.Add(1)
+	defer w.outstanding.Add(-1)
+	dctx, end := obs.StartSpan(ctx, "dispatch",
+		slog.String("worker", w.name), slog.String("cell", cell.String()))
+	start := time.Now()
+	res, err := w.c.ExecCell(dctx, cell, scale)
+	end()
+	w.latency.Observe(int64(time.Since(start)))
+	return res, err
+}
+
+// fatal reports errors no reassignment can fix: the server judged the cell
+// itself invalid (4xx other than backpressure).
+func fatal(err error) bool {
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code >= 400 && se.Code < 500 && se.Code != http.StatusTooManyRequests
+}

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lvp/internal/obs"
+	"lvp/internal/serve"
+)
+
+func simCell(bench, machine, config string) serve.Cell {
+	return serve.Cell{Kind: "sim", Bench: bench, Machine: machine, Config: config}
+}
+
+// TestCellKeyCanonical pins the content address: stable for the same spec,
+// distinct for every field that changes result bytes, and scale 0 aliases
+// scale 1 (the engine's clamp) so the same work never has two addresses.
+func TestCellKeyCanonical(t *testing.T) {
+	base := simCell("quick", serve.Machine21164, serve.ConfigNone)
+	key := CellKey(base, 1)
+	if key != CellKey(base, 1) {
+		t.Error("same cell hashed to different keys")
+	}
+	if len(key) != 64 {
+		t.Errorf("key %q is not a sha256 hex digest", key)
+	}
+	if CellKey(base, 0) != key {
+		t.Error("scale 0 should alias scale 1")
+	}
+
+	variants := []struct {
+		name string
+		cell serve.Cell
+		sc   int
+	}{
+		{"bench", simCell("grep", serve.Machine21164, serve.ConfigNone), 1},
+		{"machine", simCell("quick", serve.Machine620, serve.ConfigNone), 1},
+		{"config", simCell("quick", serve.Machine21164, "Simple"), 1},
+		{"kind", serve.Cell{Kind: "locality", Bench: "quick", Target: "ppc", Depths: []int{1}}, 1},
+		{"depths", serve.Cell{Kind: "locality", Bench: "quick", Target: "ppc", Depths: []int{1, 4}}, 1},
+		{"predictor", serve.Cell{Kind: "zoo", Bench: "quick", Predictor: "stride"}, 1},
+		{"scale", base, 2},
+	}
+	seen := map[string]string{key: "base"}
+	for _, v := range variants {
+		k := CellKey(v.cell, v.sc)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", v.name, prev)
+		}
+		seen[k] = v.name
+	}
+}
+
+// TestStoreLRUEviction pins the memory bound: the coldest entry leaves when
+// capacity is exceeded, and (with no disk) an evicted key misses.
+func TestStoreLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewStore(StoreConfig{Entries: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"aa1", "bb2", "cc3"} {
+		s.PutKey(k, json.RawMessage(`{"k":"`+k+`"}`))
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if got := reg.Counter("dist.store.evict").Value(); got != 1 {
+		t.Errorf("evict counter = %d, want 1", got)
+	}
+	if _, ok := s.GetKey("aa1"); ok {
+		t.Error("evicted key still hits")
+	}
+	if _, ok := s.GetKey("cc3"); !ok {
+		t.Error("fresh key misses")
+	}
+
+	// Touching the cold end first makes the middle entry the victim.
+	s.GetKey("bb2")
+	s.PutKey("dd4", json.RawMessage(`{}`))
+	if _, ok := s.GetKey("bb2"); !ok {
+		t.Error("recently-used key was evicted")
+	}
+	if _, ok := s.GetKey("cc3"); ok {
+		t.Error("cold key survived over recently-used one")
+	}
+}
+
+// TestStoreDiskPersistence pins the restart story: a fresh Store over the
+// same directory serves the old entries (counted as disk hits), and a torn
+// or corrupted file degrades to a miss rather than a bad result.
+func TestStoreDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cell := simCell("quick", serve.Machine21164, serve.ConfigNone)
+	res := json.RawMessage(`{"instructions": 42}`)
+
+	s1, err := NewStore(StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put(cell, 1, res)
+
+	reg := obs.NewRegistry()
+	s2, err := NewStore(StoreConfig{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(cell, 1)
+	if !ok {
+		t.Fatal("restarted store misses a persisted entry")
+	}
+	if !bytes.Equal(got, res) {
+		t.Errorf("restarted store returned %s, want %s", got, res)
+	}
+	if reg.Counter("dist.store.disk_hit").Value() != 1 {
+		t.Error("disk hit not counted")
+	}
+	// Now promoted: a second read is a pure memory hit.
+	if _, ok := s2.Get(cell, 1); !ok {
+		t.Fatal("promoted entry misses")
+	}
+	if got := reg.Counter("dist.store.disk_hit").Value(); got != 1 {
+		t.Errorf("disk_hit = %d after promotion, want still 1", got)
+	}
+
+	// Corrupt the file on disk: a fresh store must treat it as a miss.
+	key := CellKey(cell, 1)
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(path, []byte(`{"instructions":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewStore(StoreConfig{Dir: dir, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Get(cell, 1); ok {
+		t.Error("corrupted disk entry served as a hit")
+	}
+}

@@ -83,6 +83,57 @@ func (c Cell) String() string {
 	return fmt.Sprintf("sim %s/%s/%s", c.Bench, c.Machine, c.Config)
 }
 
+// Validate checks one cell against the engine's registries, so a cell can
+// be admitted on its own (the distributed cell-execution endpoint) without
+// wrapping it in a JobSpec.
+func (c Cell) Validate() error {
+	if _, err := bench.ByName(c.Bench); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	switch c.Kind {
+	case "sim":
+		switch c.Machine {
+		case Machine620, Machine620Plus, Machine21164:
+		default:
+			return fmt.Errorf("serve: unknown machine %q (want %s, %s or %s)",
+				c.Machine, Machine620, Machine620Plus, Machine21164)
+		}
+		if c.Config != ConfigNone {
+			if _, err := lvp.ByName(c.Config); err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
+		}
+	case "locality":
+		if _, err := targetByName(c.Target); err != nil {
+			return err
+		}
+		if len(c.Depths) == 0 {
+			return fmt.Errorf("serve: locality cell needs at least one depth")
+		}
+		for _, d := range c.Depths {
+			if d < 1 {
+				return fmt.Errorf("serve: locality depth %d out of range (want >= 1)", d)
+			}
+		}
+	case "zoo":
+		if _, err := lvp.FamilyByName(c.Predictor); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	default:
+		return fmt.Errorf("serve: unknown cell kind %q", c.Kind)
+	}
+	return nil
+}
+
+// CellRequest is the wire form of the internal cell-execution endpoint
+// (POST /v1/cells): one cell executed synchronously at one scale. The
+// response body on success is the raw result JSON — byte-identical to the
+// payload the same cell produces inside a job stream.
+type CellRequest struct {
+	Cell  Cell `json:"cell"`
+	Scale int  `json:"scale,omitempty"`
+}
+
 // Validate checks every name in the spec against the engine's registries.
 func (s JobSpec) Validate() error {
 	if len(s.Benchmarks) == 0 {

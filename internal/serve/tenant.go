@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-tenant admission: a token bucket per tenant, spent one token per job
+// submission, sitting ahead of the bounded queue. The tenant is named by
+// the X-Tenant request header (sanitized like request IDs; empty or
+// malformed names share the anonymous bucket ""), so quotas compose with —
+// rather than replace — the queue's global backpressure: a tenant within
+// quota can still see 429 from a full queue, and an over-quota tenant is
+// rejected before it can crowd the queue at all.
+
+// DefaultTenantBurst is the bucket capacity when Config.TenantBurst is not
+// set.
+const DefaultTenantBurst = 8
+
+// maxTenantBuckets bounds the limiter's memory against tenant-name
+// cardinality attacks; once full, new tenants share the anonymous bucket.
+const maxTenantBuckets = 16384
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// tenantLimiter hands out admission tokens. All state is guarded by mu;
+// refill happens lazily on admit, so idle tenants cost nothing.
+type tenantLimiter struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable clock for tests
+	b     map[string]*tenantBucket
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if burst <= 0 {
+		burst = DefaultTenantBurst
+	}
+	return &tenantLimiter{
+		rate:  rate,
+		burst: float64(burst),
+		now:   time.Now,
+		b:     map[string]*tenantBucket{},
+	}
+}
+
+// admit spends one token from the tenant's bucket, reporting whether the
+// submission may proceed and, when it may not, how long until a whole token
+// has refilled (the Retry-After hint).
+func (l *tenantLimiter) admit(tenant string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	bk := l.b[tenant]
+	if bk == nil {
+		if len(l.b) >= maxTenantBuckets {
+			tenant = ""
+			bk = l.b[tenant]
+		}
+		if bk == nil {
+			bk = &tenantBucket{tokens: l.burst, last: now}
+			l.b[tenant] = bk
+		}
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = min(l.burst, bk.tokens+dt*l.rate)
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// tenantLabel renders a tenant name for metric labels; the anonymous
+// tenant gets an explicit name so the label is never empty.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "anonymous"
+	}
+	return tenant
+}
