@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo check-obs serve check-serve check-dist verify clean
+.PHONY: all build check test vet race race-full fuzz bench bench-obs bench-stream bench-json bench-json-smoke check-stream check-perf check-zoo check-obs serve check-serve check-dist check-vlt2 verify clean
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-check: build vet test race check-perf check-zoo check-obs check-dist
+check: build vet test race check-perf check-zoo check-obs check-dist check-vlt2
 
 # Race-detector pass over every package. -short skips the golden
 # double-render (TestGoldenSerialVsParallel), which the detector slows by an
@@ -42,11 +42,13 @@ race:
 race-full:
 	$(GO) test -race -timeout 30m ./...
 
-# Short fuzz sessions over the trace codec: the whole-trace round-trip
-# property and the streaming Reader/Writer round-trip property.
+# Short fuzz sessions over the trace codecs: the whole-trace round-trip
+# property, the streaming Reader/Writer round-trip property, and the VLT2
+# block-codec round-trip (both decode paths, every codec).
 fuzz:
 	$(GO) test -fuzz='FuzzRoundTrip$$' -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz='FuzzStreamRoundTrip$$' -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz='FuzzVLT2RoundTrip$$' -fuzztime=30s ./internal/trace/
 
 # Experiment-engine benchmarks: compare ExpAllSerial vs ExpAllParallel for
 # the worker-pool speedup.
@@ -70,7 +72,7 @@ bench-stream:
 # checked-in BENCH_PR5.json baseline; the smoke run is the CI sizing that
 # uploads an informational artifact without gating.
 bench-json:
-	$(GO) run ./cmd/lvpbench -out BENCH_PR5.json
+	$(GO) run ./cmd/lvpbench -out BENCH_PR9.json
 
 bench-json-smoke:
 	$(GO) run ./cmd/lvpbench -smoke -out bench-smoke.json
@@ -111,6 +113,19 @@ check-zoo:
 check-obs:
 	$(GO) test -count=1 -run 'Histogram|Span|Prometheus|Timeline|AccessLog|RequestID|TracingOn|Publish|BucketBounds|BucketIndex|FlightRecorder' ./internal/obs/ ./internal/serve/
 	$(GO) test -race -count=1 -run 'TestHistogramConcurrent|TestSpanConcurrent|TestConcurrentPublish|TestTracingOnIdentity' ./internal/obs/ ./internal/serve/
+
+# VLT2 block-codec gate, run standalone (uncached): the VLT1/VLT2
+# cross-format differential (records, annotation bytes, and all three
+# machine models' stats byte-identical regardless of format), the
+# hostile-input table (truncated blocks, corrupted checksums, lying header
+# lengths, overlapping index entries — clean errors, never panics), the
+# checked-in fuzz corpus seeds, the random-seek and parallel-width property
+# tests, and the 0-allocs/record gates on the VLT2 batch paths — then the
+# parallel-decode identity property again under the race detector.
+check-vlt2:
+	$(GO) test -count=1 -run 'TestVLT2|FuzzVLT2' ./internal/trace/
+	$(GO) test -count=1 -run 'TestFormatDifferential' ./internal/exp/
+	$(GO) test -race -count=1 -short -run 'TestVLT2ParallelWidthsProperty|TestVLT2SeekProperty' ./internal/trace/
 
 # Run the experiment daemon locally (see SERVING.md for the API).
 serve:

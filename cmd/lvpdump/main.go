@@ -1,14 +1,17 @@
 // Command lvpdump disassembles a built benchmark (or an assembled .s file):
 // the code listing with labels resolved, plus the data-symbol map. A
 // debugging aid for workload authors. With -trace it instead dumps the
-// records of a VLT1 trace file through the streaming reader, so arbitrarily
-// large traces dump in O(1) memory.
+// records of a trace file (VLT1 or VLT2, auto-detected) through the
+// streaming reader, so arbitrarily large traces dump in O(1) memory; on
+// VLT2 files -seek jumps straight to record N through the block index
+// instead of decoding up to it.
 //
 // Usage:
 //
 //	lvpdump -bench grep -target ppc | less
 //	lvpdump -asm prog.s
 //	lvpdump -trace grep.ppc.vlt | head
+//	lvpdump -trace grep.ppc.vlt2 -seek 1000000 -n 20
 package main
 
 import (
@@ -30,7 +33,9 @@ func main() {
 	var (
 		benchName   = flag.String("bench", "", "benchmark to dump")
 		asmFile     = flag.String("asm", "", "assembly file to dump instead")
-		traceFile   = flag.String("trace", "", "VLT1 trace file to dump records from (streaming)")
+		traceFile   = flag.String("trace", "", "trace file to dump records from (vlt1 or vlt2, streaming)")
+		seek        = flag.Uint64("seek", 0, "start dumping at this record (O(1) on vlt2 files)")
+		count       = flag.Int64("n", -1, "dump at most this many records (-1 = all)")
 		target      = flag.String("target", "ppc", "codegen target: ppc or axp")
 		scale       = flag.Int("scale", 1, "benchmark scale")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -42,7 +47,7 @@ func main() {
 	}
 
 	if *traceFile != "" {
-		if err := dumpTrace(*traceFile); err != nil {
+		if err := dumpTrace(*traceFile, *seek, *count); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,20 +114,41 @@ func main() {
 	}
 }
 
-// dumpTrace streams the records of a VLT1 file to stdout, one line per
-// record, without materializing the trace.
-func dumpTrace(path string) error {
+// dumpTrace streams the records of a trace file to stdout, one line per
+// record, without materializing the trace. seek skips to that record first
+// — via the block index on VLT2 files, by decode-and-discard on VLT1 — and
+// n bounds how many records print (-1 = to the end).
+func dumpTrace(path string, seek uint64, n int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sr, err := trace.NewReader(f)
+	sr, err := trace.OpenFile(f)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("; trace %s/%s, %d records\n", sr.Name(), sr.Target(), sr.Count())
-	for i := 0; ; i++ {
+	if seek > 0 {
+		if ir, ok := sr.(*trace.IndexedReader); ok {
+			if err := ir.SeekRecord(seek); err != nil {
+				return err
+			}
+		} else {
+			var buf [512]trace.Record
+			for skipped := uint64(0); skipped < seek; {
+				k, err := sr.NextBatch(buf[:min(uint64(len(buf)), seek-skipped)])
+				skipped += uint64(k)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := int64(0); n < 0 || i < n; i++ {
 		r, err := sr.Next()
 		if err == io.EOF {
 			return nil
@@ -130,7 +156,7 @@ func dumpTrace(path string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%10d  %06x  %-28s", i, r.PC, r.Inst().String())
+		fmt.Printf("%10d  %06x  %-28s", uint64(i)+seek, r.PC, r.Inst().String())
 		switch {
 		case r.IsLoad():
 			fmt.Printf("  addr=%#x val=%#x", r.Addr, r.Value)
@@ -141,6 +167,7 @@ func dumpTrace(path string) error {
 		}
 		fmt.Println()
 	}
+	return nil
 }
 
 func dataSize(p *prog.Program) int {

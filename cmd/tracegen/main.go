@@ -1,10 +1,14 @@
 // Command tracegen builds a benchmark, executes it functionally, and writes
-// its dynamic instruction trace in the VLT1 binary format — the counterpart
-// of the paper's TRIP6000/ATOM tracing step (§5).
+// its dynamic instruction trace — the counterpart of the paper's
+// TRIP6000/ATOM tracing step (§5). -format selects the on-disk encoding:
+// vlt1 (the original streaming format) or vlt2 (block-structured:
+// compressed, seekable, parallel-decodable); -codec picks the VLT2 block
+// codec.
 //
 // Usage:
 //
 //	tracegen -bench grep -target ppc -scale 1 -o grep.ppc.vlt
+//	tracegen -bench grep -format vlt2 -codec flate -o grep.ppc.vlt2
 //	tracegen -bench grep -target ppc -stream -o grep.ppc.vlt   # bounded memory
 //	tracegen -bench grep -scale 64 -pprof localhost:6060 -o /dev/null
 //	tracegen -list
@@ -35,6 +39,8 @@ func main() {
 		scale       = flag.Int("scale", 1, "run-length multiplier")
 		out         = flag.String("o", "", "output file (default <bench>.<target>.vlt)")
 		stream      = flag.Bool("stream", false, "stream records to the output as the VM executes (bounded memory)")
+		formatName  = flag.String("format", "vlt1", "output trace format: vlt1 or vlt2")
+		codecName   = flag.String("codec", "raw", "vlt2 block codec: raw, flate, fixed, or fixed-flate")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address while generating")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -70,9 +76,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	format, err := trace.FormatByName(*formatName)
+	if err != nil {
+		fatal(err)
+	}
+	codec, err := trace.BlockCodecByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	if format == trace.FormatVLT1 && codec != trace.CodecRaw {
+		fatal(fmt.Errorf("-codec applies only to -format vlt2"))
+	}
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("%s.%s.vlt", *benchName, tg.Name)
+		ext := "vlt"
+		if format == trace.FormatVLT2 {
+			ext = "vlt2"
+		}
+		path = fmt.Sprintf("%s.%s.%s", *benchName, tg.Name, ext)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -83,14 +104,19 @@ func main() {
 	if *stream {
 		// Stream each record to disk as the VM retires it: memory stays
 		// bounded by the encoder's buffer regardless of run length. The
-		// record count is backpatched into the header at Close.
-		sum, outputs, err = streamTrace(f, p)
+		// VLT1 record count is backpatched into the header at Close; VLT2
+		// carries its totals in the footer.
+		sum, outputs, err = streamTrace(f, p, format, codec)
 	} else {
 		var t *trace.Trace
 		var res *vm.Result
 		t, res, err = vm.Run(p, 0)
 		if err == nil {
-			err = trace.Write(f, t)
+			if format == trace.FormatVLT2 {
+				err = trace.Write2(f, t, trace.Writer2Options{Codec: codec})
+			} else {
+				err = trace.Write(f, t)
+			}
 			sum = t.Summarize()
 			outputs = len(res.Output)
 		}
@@ -108,9 +134,15 @@ func main() {
 
 // streamTrace executes p, encoding each retired record into w on the fly,
 // and returns the streaming summary plus the program's output count.
-func streamTrace(w *os.File, p *prog.Program) (trace.Summary, int, error) {
+func streamTrace(w *os.File, p *prog.Program, format trace.Format, codec trace.BlockCodec) (trace.Summary, int, error) {
 	src := vm.NewSource(p, 0)
-	sw, err := trace.NewWriter(w, p.Name, p.Target.Name)
+	var sw trace.Encoder
+	var err error
+	if format == trace.FormatVLT2 {
+		sw, err = trace.NewWriter2Opts(w, p.Name, p.Target.Name, trace.Writer2Options{Codec: codec})
+	} else {
+		sw, err = trace.NewWriter(w, p.Name, p.Target.Name)
+	}
 	if err != nil {
 		return trace.Summary{}, 0, err
 	}

@@ -1,14 +1,17 @@
-// Command traceinfo summarises a VLT1 trace file: dynamic instruction mix,
-// load-class breakdown, value locality at depths 1 and 16, and LVP unit
-// behaviour under the paper's configurations.
+// Command traceinfo summarises a trace file (VLT1 or VLT2, auto-detected):
+// dynamic instruction mix, load-class breakdown, value locality at depths 1
+// and 16, and LVP unit behaviour under the paper's configurations. VLT2
+// files additionally get a format section: block count, on-wire vs decoded
+// bytes, and the trace.v2.* decode counters.
 //
-// The file is processed in one streaming pass (trace.Reader): every table's
-// accumulator consumes each record as it is decoded, so summarising a
-// multi-gigabyte trace needs O(1) memory.
+// The file is processed in one streaming pass: every table's accumulator
+// consumes each record as it is decoded, so summarising a multi-gigabyte
+// trace needs O(1) memory.
 //
 // Usage:
 //
 //	traceinfo grep.ppc.vlt
+//	traceinfo grep.ppc.vlt2
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"lvp/internal/isa"
 	"lvp/internal/locality"
 	"lvp/internal/lvp"
+	"lvp/internal/obs"
 	"lvp/internal/report"
 	"lvp/internal/stats"
 	"lvp/internal/trace"
@@ -42,9 +46,14 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	sr, err := trace.NewReader(f)
+	sr, err := trace.OpenFile(f)
 	if err != nil {
 		fatal(err)
+	}
+	reg := obs.NewRegistry()
+	type metered interface{ SetMetrics(*obs.Registry) }
+	if m, ok := sr.(metered); ok {
+		m.SetMetrics(reg)
 	}
 
 	// One pass, every accumulator fed per record.
@@ -85,6 +94,22 @@ func main() {
 		mix.AddRow("loads: "+c.String(), sum.LoadsByClass[c])
 	}
 	mix.Render(os.Stdout)
+
+	// VLT2 files carry a block index; surface its shape and the decode
+	// counters the reader accumulated during the pass.
+	if ir, ok := sr.(*trace.IndexedReader); ok {
+		snap := reg.Snapshot()
+		ft := report.Table{
+			Title:   "VLT2 layout",
+			Columns: []string{"Metric", "Value"},
+		}
+		ft.AddRow("blocks", ir.Blocks())
+		ft.AddRow("block bytes (wire)", ir.WireBytes())
+		ft.AddRow("bytes decoded (raw)", snap.Counters["trace.v2.bytes.raw"])
+		ft.AddRow("bytes read (compressed)", snap.Counters["trace.v2.bytes.compressed"])
+		ft.AddRow("records decoded", snap.Counters["trace.v2.records"])
+		ft.Render(os.Stdout)
+	}
 
 	lt := report.Table{
 		Title:   "Value locality",

@@ -59,9 +59,14 @@ type Report struct {
 	Entries   []Entry `json:"entries"`
 	// Ratios are records/sec speedups between named grid cells; the keys
 	// are fixed. *_batch_speedup compares a batched stage against its PR-4
-	// record-at-a-time form on identical work.
-	Ratios    map[string]float64 `json:"ratios"`
-	PeakRSSKB int64              `json:"peak_rss_kb"`
+	// record-at-a-time form on identical work. vlt2_size_ratio is the odd
+	// one out: VLT2-flate encoded bytes over VLT1 bytes (smaller is
+	// better), computed from Sizes rather than cell timings.
+	Ratios map[string]float64 `json:"ratios"`
+	// Sizes records the at-rest encoded size of the workload trace in each
+	// format, in bytes.
+	Sizes     map[string]int64 `json:"sizes,omitempty"`
+	PeakRSSKB int64            `json:"peak_rss_kb"`
 }
 
 // Options configure a grid run.
@@ -74,12 +79,16 @@ type Options struct {
 }
 
 // workload is the prepared input shared by every grid cell: one benchmark
-// program, its materialized trace, annotation, and VLT1 encoding.
+// program, its materialized trace, annotation, and its VLT1, VLT2-raw and
+// VLT2-flate encodings.
 type workload struct {
 	prog    *prog.Program
 	tr      *trace.Trace
 	ann     trace.Annotation
-	enc     []byte
+	enc     []byte // VLT1
+	enc2    []byte // VLT2, raw blocks
+	enc2f   []byte // VLT2, flate blocks
+	enc2x   []byte // VLT2, fixed-width blocks
 	records int64
 }
 
@@ -93,17 +102,38 @@ type gridCell struct {
 
 func encBytes(w *workload) int64 { return int64(len(w.enc)) }
 
-// grid is the fixed benchmark grid, in report order.
+func enc2Bytes(w *workload) int64 { return int64(len(w.enc2)) }
+
+func enc2fBytes(w *workload) int64 { return int64(len(w.enc2f)) }
+
+func enc2xBytes(w *workload) int64 { return int64(len(w.enc2x)) }
+
+// grid is the fixed benchmark grid, in report order. The codec2.* cells
+// cover the VLT2 block codec: encode, the sequential stream decoder, the
+// zero-copy indexed decoder, decode fanned out on the worker pool (drained
+// through the zero-copy NextBlock API), decode of flate-compressed blocks,
+// and the fixed-width codec both indexed and parallel. The pipeline.file.*
+// pair runs the full fused pipeline (decode → annotate → 620 timing model)
+// from an encoded trace in each format.
 var grid = []gridCell{
 	{"gen.record", nil, benchGenRecord},
 	{"gen.batch", nil, benchGenBatch},
 	{"codec.decode.record", encBytes, benchDecodeRecord},
 	{"codec.decode.batch", encBytes, benchDecodeBatch},
 	{"codec.encode", encBytes, benchEncode},
+	{"codec2.encode", enc2Bytes, benchEncode2},
+	{"codec2.decode.batch", enc2Bytes, benchDecode2Batch},
+	{"codec2.decode.indexed", enc2Bytes, benchDecode2Indexed},
+	{"codec2.decode.parallel", enc2Bytes, benchDecode2Parallel},
+	{"codec2.decode.flate", enc2fBytes, benchDecode2Flate},
+	{"codec2.decode.fixed", enc2xBytes, benchDecode2Fixed},
+	{"codec2.decode.fixed.parallel", enc2xBytes, benchDecode2FixedParallel},
 	{"annotate.record", nil, benchAnnotateRecord},
 	{"annotate.batch", nil, benchAnnotateBatch},
 	{"pipeline.fused.record", nil, benchFusedRecord},
 	{"pipeline.fused.batch", nil, benchFusedBatch},
+	{"pipeline.file.vlt1", encBytes, benchFileVLT1},
+	{"pipeline.file.vlt2", enc2Bytes, benchFileVLT2},
 	{"sim.620", nil, benchSim620},
 	{"sim.21164", nil, benchSim21164},
 }
@@ -115,6 +145,11 @@ var ratios = []struct{ key, num, den string }{
 	{"decode_batch_speedup", "codec.decode.batch", "codec.decode.record"},
 	{"annotate_batch_speedup", "annotate.batch", "annotate.record"},
 	{"pipeline_batch_speedup", "pipeline.fused.batch", "pipeline.fused.record"},
+	{"vlt2_decode_speedup", "codec2.decode.indexed", "codec.decode.batch"},
+	{"vlt2_parallel_speedup", "codec2.decode.parallel", "codec.decode.batch"},
+	{"vlt2_fixed_speedup", "codec2.decode.fixed", "codec.decode.batch"},
+	{"vlt2_fixed_parallel_speedup", "codec2.decode.fixed.parallel", "codec.decode.batch"},
+	{"file_pipeline_speedup", "pipeline.file.vlt2", "pipeline.file.vlt1"},
 }
 
 // Run executes the full grid and returns the report.
@@ -178,6 +213,15 @@ func Run(opts Options) (*Report, error) {
 			rep.Ratios[r.key] = round3(perSec[r.num] / den)
 		}
 	}
+	rep.Sizes = map[string]int64{
+		"vlt1":       int64(len(w.enc)),
+		"vlt2_raw":   int64(len(w.enc2)),
+		"vlt2_flate": int64(len(w.enc2f)),
+		"vlt2_fixed": int64(len(w.enc2x)),
+	}
+	if len(w.enc) > 0 {
+		rep.Ratios["vlt2_size_ratio"] = round3(float64(len(w.enc2f)) / float64(len(w.enc)))
+	}
 	rep.PeakRSSKB = peakRSSKB()
 	return rep, nil
 }
@@ -211,8 +255,21 @@ func prepare(name string, scale int) (*workload, error) {
 	if err := trace.Write(&buf, tr); err != nil {
 		return nil, fmt.Errorf("perf: encoding %s: %w", name, err)
 	}
+	var buf2 bytes.Buffer
+	if err := trace.Write2(&buf2, tr, trace.Writer2Options{}); err != nil {
+		return nil, fmt.Errorf("perf: vlt2 encoding %s: %w", name, err)
+	}
+	var buf2f bytes.Buffer
+	if err := trace.Write2(&buf2f, tr, trace.Writer2Options{Codec: trace.CodecFlate}); err != nil {
+		return nil, fmt.Errorf("perf: vlt2/flate encoding %s: %w", name, err)
+	}
+	var buf2x bytes.Buffer
+	if err := trace.Write2(&buf2x, tr, trace.Writer2Options{Codec: trace.CodecFixed}); err != nil {
+		return nil, fmt.Errorf("perf: vlt2/fixed encoding %s: %w", name, err)
+	}
 	return &workload{
-		prog: p, tr: tr, ann: ann, enc: buf.Bytes(),
+		prog: p, tr: tr, ann: ann,
+		enc: buf.Bytes(), enc2: buf2.Bytes(), enc2f: buf2f.Bytes(), enc2x: buf2x.Bytes(),
 		records: int64(len(tr.Records)),
 	}, nil
 }
@@ -336,6 +393,113 @@ func benchEncode(b *testing.B, w *workload) {
 	}
 }
 
+func benchEncode2(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		wr, err := trace.NewWriter2(io.Discard, w.tr.Name, w.tr.Target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range w.tr.Records {
+			if err := wr.WriteRecord(&w.tr.Records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := wr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// drainDecoder drives d through the shared batch buffer to EOF.
+func drainDecoder(b *testing.B, d trace.Decoder, buf []trace.Record) {
+	for {
+		if _, err := d.NextBatch(buf); err == io.EOF {
+			return
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode2Batch(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader2(bytes.NewReader(w.enc2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainDecoder(b, r, buf)
+	}
+}
+
+func benchDecode2Indexed(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewIndexedReaderBytes(w.enc2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainDecoder(b, r, buf)
+	}
+}
+
+// drainBlocks drives pr through the zero-copy block API to EOF.
+func drainBlocks(b *testing.B, pr *trace.ParallelReader) {
+	for {
+		if _, err := pr.NextBlock(); err == io.EOF {
+			return
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode2Parallel(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewIndexedReaderBytes(w.enc2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr := r.Parallel(0)
+		drainBlocks(b, pr)
+		pr.Close()
+	}
+}
+
+func benchDecode2Flate(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader2(bytes.NewReader(w.enc2f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainDecoder(b, r, buf)
+	}
+}
+
+func benchDecode2Fixed(b *testing.B, w *workload) {
+	buf := make([]trace.Record, 256)
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewIndexedReaderBytes(w.enc2x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainDecoder(b, r, buf)
+	}
+}
+
+func benchDecode2FixedParallel(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewIndexedReaderBytes(w.enc2x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr := r.Parallel(0)
+		drainBlocks(b, pr)
+		pr.Close()
+	}
+}
+
 func benchAnnotateRecord(b *testing.B, w *workload) {
 	for i := 0; i < b.N; i++ {
 		a, err := lvp.NewAnnotator(lvp.Simple, nil)
@@ -392,6 +556,44 @@ func benchFusedRecord(b *testing.B, w *workload) {
 func benchFusedBatch(b *testing.B, w *workload) {
 	for i := 0; i < b.N; i++ {
 		fused(b, w, false)
+	}
+}
+
+// benchFileVLT1 runs the full fused pipeline — decode, annotate, 620 timing
+// model — sourced from an encoded VLT1 trace, the pre-VLT2 file path.
+func benchFileVLT1(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewReader(bytes.NewReader(w.enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe, err := lvp.NewPipe(r, lvp.Simple, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ppc620.SimulateSource(pipe, ppc620.Config620(), lvp.Simple.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFileVLT2 is benchFileVLT1 on the VLT2 path: indexed zero-copy blocks
+// decoded on the worker pool, feeding the same annotate+simulate chain.
+func benchFileVLT2(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewIndexedReaderBytes(w.enc2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr := r.Parallel(0)
+		pipe, err := lvp.NewPipe(pr, lvp.Simple, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ppc620.SimulateSource(pipe, ppc620.Config620(), lvp.Simple.Name); err != nil {
+			b.Fatal(err)
+		}
+		pr.Close()
 	}
 }
 

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// fuzzCodecs covers every codec and an awkward block size, so the fuzz and
+// hostile-input gates exercise each decode path (varint, fixed, flate, and
+// multi-block boundaries).
+var fuzzCodecs = []Writer2Options{
+	{},
+	{Codec: CodecFlate},
+	{Codec: CodecFixed},
+	{Codec: CodecFixedFlate},
+	{BlockRecords: 7},
+	{Codec: CodecFixed, BlockRecords: 7},
+}
+
+func encodeVLT2(tr *Trace, opts Writer2Options) []byte {
+	var buf bytes.Buffer
+	if err := Write2(&buf, tr, opts); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAllVLT2 drains a decoder without a testing.T, for use inside the
+// fuzz body where decode errors are data, not failures.
+func decodeAllVLT2(d Decoder) ([]Record, error) {
+	var recs []Record
+	buf := make([]Record, 300)
+	for {
+		n, err := d.NextBatch(buf)
+		recs = append(recs, buf[:n]...)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+	}
+}
+
+// FuzzVLT2RoundTrip feeds arbitrary bytes to both VLT2 decode paths. The
+// invariants:
+//
+//  1. neither the sequential nor the indexed decoder ever panics — hostile
+//     input must come back as a clean error;
+//  2. when the indexed reader accepts an input, the sequential reader
+//     accepts it too and both decode the identical record sequence (the
+//     indexed reader validates strictly more: the footer index);
+//  3. any accepted input is canonical: re-encoding the decoded records and
+//     decoding again reproduces them exactly.
+func FuzzVLT2RoundTrip(f *testing.F) {
+	seed := &Trace{Name: "seed", Target: "ppc", Records: genRecords(300, 7)}
+	for _, opts := range fuzzCodecs {
+		f.Add(encodeVLT2(seed, opts))
+	}
+	f.Add(encodeVLT2(&Trace{Name: "empty", Target: "axp"}, Writer2Options{}))
+	valid := encodeVLT2(seed, Writer2Options{BlockRecords: 64})
+	f.Add([]byte{})
+	f.Add([]byte("VLT2"))
+	f.Add(valid[:len(valid)-1])             // truncated trailer
+	f.Add(valid[:len(valid)/2])             // truncated mid-block
+	f.Add(append(bytes.Clone(valid), 0xAA)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ir, err := NewIndexedReaderBytes(data)
+		var irecs []Record
+		indexedOK := false
+		if err == nil {
+			if irecs, err = decodeAllVLT2(ir); err == nil {
+				indexedOK = true
+			}
+		}
+		sr, err := NewReader2(bytes.NewReader(data))
+		if err != nil {
+			if indexedOK {
+				t.Fatalf("indexed accepted but sequential open failed: %v", err)
+			}
+			return
+		}
+		srecs, err := decodeAllVLT2(sr)
+		if err != nil {
+			if indexedOK {
+				t.Fatalf("indexed accepted but sequential decode failed: %v", err)
+			}
+			return
+		}
+		if indexedOK && !reflect.DeepEqual(irecs, srecs) {
+			t.Fatal("indexed and sequential decode disagree on accepted input")
+		}
+		// Canonicality: accepted input must survive a re-encode round trip
+		// under each distinct payload codec.
+		tr := &Trace{Name: sr.Name(), Target: sr.Target(), Records: srecs}
+		for _, opts := range fuzzCodecs[:3] {
+			re, err := NewReader2(bytes.NewReader(encodeVLT2(tr, opts)))
+			if err != nil {
+				t.Fatalf("re-encode (%v) rejected: %v", opts, err)
+			}
+			rerecs, err := decodeAllVLT2(re)
+			if err != nil {
+				t.Fatalf("re-encode (%v) decode failed: %v", opts, err)
+			}
+			if !reflect.DeepEqual(rerecs, srecs) {
+				t.Fatalf("re-encode (%v) changed the records", opts)
+			}
+		}
+	})
+}
+
+// rebuiltFooter re-emits enc with its footer index replaced by entries,
+// recomputing the footer CRC so only the index semantics — not the
+// checksum — are under test.
+func rebuiltFooter(enc []byte, ir *IndexedReader, entries []indexEnt2, total uint64) []byte {
+	out := bytes.Clone(enc[:ir.fOff])
+	f := []byte{blockKindFooter}
+	f = appendUvarint(f, uint64(len(entries)))
+	for _, e := range entries {
+		f = appendUvarint(f, e.off)
+		f = appendUvarint(f, e.size)
+		f = appendUvarint(f, e.count)
+	}
+	f = appendUvarint(f, total)
+	out = append(out, f...)
+	out = appendUint32LE(out, crc32.Checksum(f, castagnoli))
+	out = appendUint64LE(out, ir.fOff)
+	out = append(out, trailerMagic2...)
+	return out
+}
+
+// TestVLT2Hostile corrupts a valid multi-block file in every structurally
+// interesting way and requires a clean error — never a panic, never silent
+// wrong data — from the decode paths that can see the damage. The indexed
+// reader must reject every case; seqFails marks the cases the sequential
+// reader (which never reads the footer index) must also reject.
+func TestVLT2Hostile(t *testing.T) {
+	tr := &Trace{Name: "hostile", Target: "ppc", Records: genRecords(500, 11)}
+	for _, base := range []struct {
+		name string
+		opts Writer2Options
+	}{
+		{"varint", Writer2Options{BlockRecords: 64}},
+		{"fixed", Writer2Options{Codec: CodecFixed, BlockRecords: 64}},
+		{"flate", Writer2Options{Codec: CodecFlate, BlockRecords: 64}},
+	} {
+		t.Run(base.name, func(t *testing.T) {
+			enc := encodeVLT2(tr, base.opts)
+			ir, err := NewIndexedReaderBytes(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := append([]indexEnt2(nil), ir.idx...)
+			total := ir.total
+			if len(idx) < 3 {
+				t.Fatalf("want ≥3 blocks, got %d", len(idx))
+			}
+			flip := func(pos uint64) []byte {
+				m := bytes.Clone(enc)
+				m[pos] ^= 0x40
+				return m
+			}
+			overlap := append([]indexEnt2(nil), idx...)
+			overlap[1] = overlap[0] // entry 1 restates entry 0: overlapping ranges
+			gap := append([]indexEnt2(nil), idx...)
+			gap[1].off++ // entry 1 skips a byte
+			lyingSize := append([]indexEnt2(nil), idx...)
+			lyingSize[0].size += lyingSize[1].size // entry 0 swallows entry 1
+
+			// hdr0/hdr1 are the blocks' header lengths. The payload flip
+			// aims mid-payload (a flip in a DEFLATE stream's final byte
+			// can land in dead padding bits); the anchor flip aims at the
+			// byte just before block 1's CRC — the last byte of the
+			// firstAddr anchor, which only the header-covering CRC can
+			// catch.
+			_, hdr0, err := parseBlockHdr(enc[idx[0].off : idx[0].off+idx[0].size])
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, hdr1, err := parseBlockHdr(enc[idx[1].off : idx[1].off+idx[1].size])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cases := []struct {
+				name     string
+				data     []byte
+				seqFails bool
+				want     error // sentinel the error must unwrap to, if non-nil
+			}{
+				{"truncated-mid-block", enc[:idx[1].off+idx[1].size/2], true, nil},
+				{"truncated-trailer", enc[:len(enc)-3], false, nil},
+				{"payload-flip", flip(idx[0].off + uint64(hdr0) + (idx[0].size-uint64(hdr0))/2), true, ErrCorrupt},
+				{"header-anchor-flip", flip(idx[1].off + uint64(hdr1) - 5), true, ErrCorrupt},
+				{"footer-off-zero", overwriteFooterOff(enc, 0), false, ErrCorrupt},
+				{"footer-off-into-block", overwriteFooterOff(enc, idx[0].off), false, nil},
+				{"index-overlap", rebuiltFooter(enc, ir, overlap, total), false, ErrCorrupt},
+				{"index-gap", rebuiltFooter(enc, ir, gap, total), false, ErrCorrupt},
+				{"index-lying-size", rebuiltFooter(enc, ir, lyingSize, total), false, ErrCorrupt},
+				{"footer-lying-total", rebuiltFooter(enc, ir, idx, total+1), false, ErrCorrupt},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					if d, err := NewIndexedReaderBytes(tc.data); err == nil {
+						if _, err = decodeAllVLT2(d); err == nil {
+							t.Fatal("indexed reader accepted hostile input")
+						}
+					} else if tc.want != nil && !errors.Is(err, tc.want) {
+						t.Fatalf("indexed open error %v does not unwrap to %v", err, tc.want)
+					}
+					if !tc.seqFails {
+						return
+					}
+					d, err := NewReader2(bytes.NewReader(tc.data))
+					if err != nil {
+						return
+					}
+					if _, err = decodeAllVLT2(d); err == nil {
+						t.Fatal("sequential reader accepted hostile input")
+					} else if tc.want != nil && !errors.Is(err, tc.want) {
+						t.Fatalf("sequential error %v does not unwrap to %v", err, tc.want)
+					}
+				})
+			}
+		})
+	}
+}
+
+func appendUint32LE(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendUint64LE(dst []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+// overwriteFooterOff rewrites the trailer's footer offset in place.
+func overwriteFooterOff(enc []byte, off uint64) []byte {
+	m := bytes.Clone(enc)
+	tail := m[len(m)-trailerLen2:]
+	for i := 0; i < 8; i++ {
+		tail[i] = byte(off >> (8 * i))
+	}
+	return m
+}

@@ -1,0 +1,22 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. On success the returned cleanup unmaps; ok is
+// false when the platform or the file (empty, too large for the address
+// space) cannot be mapped, and callers fall back to ReadAt.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, func() error { return syscall.Munmap(data) }, true
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mmapFile is the no-mmap fallback: indexed readers use ReadAt instead.
+func mmapFile(*os.File, int64) ([]byte, func() error, bool) {
+	return nil, nil, false
+}

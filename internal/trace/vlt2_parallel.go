@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"lvp/internal/par"
+)
+
+// Parallel VLT2 decoding: because every block is independently decodable and
+// the footer index locates all of them up front, disjoint blocks decode on a
+// par.Pool concurrently while a single consumer reassembles them in index
+// order. The merge is index-addressed — block i's records are handed over on
+// block i's own channel — so the record stream is byte-identical to a
+// sequential decode regardless of worker count or completion order, matching
+// the determinism contract of the rest of the engine.
+
+// parSlab owns one in-flight block's buffers: fetch/scratch space for the
+// worker and the decoded records for the consumer. Slabs recycle through a
+// sync.Pool once the consumer drains them, so steady-state parallel decode
+// allocates only when the read-ahead window grows.
+type parSlab struct {
+	fetch    blockReader
+	blockBuf []byte
+	dec      blockDec
+	recs     []Record
+}
+
+// parBlock is one decoded block in transit from worker to consumer.
+type parBlock struct {
+	recs []Record
+	err  error
+	slab *parSlab
+}
+
+// ParallelReader decodes a VLT2 file's blocks concurrently. It satisfies
+// Decoder; Close (required) stops the workers. The consumer side is not safe
+// for concurrent use — parallelism is internal.
+type ParallelReader struct {
+	ir      *IndexedReader
+	pool    *par.Pool
+	results chan chan parBlock
+	quit    chan struct{}
+	slabs   sync.Pool
+
+	cur    parBlock
+	curOff int
+	read   uint64
+	rec    Record
+	err    error
+	closed bool
+}
+
+// Parallel returns a reader decoding ir's blocks on `workers` goroutines
+// (<= 0 selects par.DefaultWorkers). The underlying ReaderAt must serve
+// concurrent ReadAt calls; os.File and bytes.Reader both do, and the mmap
+// path reads shared immutable memory. ir's cursor state is not touched, but
+// its metrics counters aggregate both readers' traffic.
+func (ir *IndexedReader) Parallel(workers int) *ParallelReader {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	pr := &ParallelReader{
+		ir:   ir,
+		pool: par.NewPool(workers),
+		// The window bounds read-ahead: at most workers in flight plus
+		// workers decoded-but-undelivered blocks.
+		results: make(chan chan parBlock, workers),
+		quit:    make(chan struct{}),
+	}
+	pr.slabs.New = func() any { return new(parSlab) }
+	go pr.produce()
+	return pr
+}
+
+// produce walks the block index in order, handing each block a private
+// one-slot result channel (enqueued in index order) and a pool task that
+// fills it. Pool.Go's backpressure plus the results channel's capacity bound
+// how far decode runs ahead of the consumer.
+func (pr *ParallelReader) produce() {
+	defer close(pr.results)
+	for i := range pr.ir.idx {
+		c := make(chan parBlock, 1)
+		select {
+		case <-pr.quit:
+			return
+		case pr.results <- c:
+		}
+		pr.pool.Go(func() error {
+			s := pr.slabs.Get().(*parSlab)
+			pr.ir.m.busy.Acquire()
+			err := pr.ir.stageBlock(i, &s.fetch, &s.blockBuf, &s.dec, &pr.ir.m)
+			if err == nil {
+				s.recs = growRecords(s.recs, s.dec.remaining())
+				var n int
+				for n < len(s.recs) && err == nil {
+					var k int
+					k, err = s.dec.decodeInto(s.recs[n:])
+					n += k
+				}
+				if err != nil {
+					err = fmt.Errorf("trace: vlt2 block %d: %w", i, err)
+				}
+			}
+			pr.ir.m.busy.Release()
+			c <- parBlock{recs: s.recs, err: err, slab: s}
+			return nil
+		})
+	}
+}
+
+// growRecords returns r resized to n, reusing capacity when it can.
+func growRecords(r []Record, n int) []Record {
+	if cap(r) < n {
+		return make([]Record, n)
+	}
+	return r[:n]
+}
+
+// Name returns the trace's benchmark name from the header.
+func (pr *ParallelReader) Name() string { return pr.ir.name }
+
+// Target returns the trace's codegen target from the header.
+func (pr *ParallelReader) Target() string { return pr.ir.target }
+
+// Count returns the file's total record count from the footer index.
+func (pr *ParallelReader) Count() uint64 { return pr.ir.total }
+
+// Decoded returns the number of records delivered so far.
+func (pr *ParallelReader) Decoded() uint64 { return pr.read }
+
+// Next decodes the next record; io.EOF after the final record. The pointer
+// is invalidated by the following Next or NextBatch call.
+func (pr *ParallelReader) Next() (*Record, error) {
+	var one [1]Record
+	n, err := pr.NextBatch(one[:])
+	if n == 0 {
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	pr.rec = one[0]
+	return &pr.rec, err
+}
+
+// NextBlock hands over the next decoded block's remaining records without
+// copying them: the slice is owned by the reader and valid only until the
+// next NextBlock, NextBatch or Close call, when its backing slab is
+// recycled. Batch consumers that can work block-at-a-time skip the per-batch
+// copy NextBatch pays. Returns io.EOF after the final block.
+func (pr *ParallelReader) NextBlock() ([]Record, error) {
+	if pr.err != nil {
+		return nil, pr.err
+	}
+	if pr.closed {
+		return nil, fmt.Errorf("trace: read from closed parallel reader")
+	}
+	for pr.curOff == len(pr.cur.recs) {
+		if pr.cur.slab != nil {
+			pr.slabs.Put(pr.cur.slab)
+			pr.cur = parBlock{}
+			pr.curOff = 0
+		}
+		c, ok := <-pr.results
+		if !ok {
+			return nil, io.EOF
+		}
+		pb := <-c
+		if pb.err != nil {
+			pr.err = pb.err
+			pr.shutdown()
+			return nil, pr.err
+		}
+		pr.cur = pb
+		pr.curOff = 0
+	}
+	recs := pr.cur.recs[pr.curOff:]
+	pr.curOff = len(pr.cur.recs)
+	pr.read += uint64(len(recs))
+	pr.ir.m.records.Add(int64(len(recs)))
+	return recs, nil
+}
+
+// NextBatch copies up to len(buf) records from the in-order decoded stream.
+func (pr *ParallelReader) NextBatch(buf []Record) (int, error) {
+	if pr.err != nil {
+		return 0, pr.err
+	}
+	if pr.closed {
+		return 0, fmt.Errorf("trace: read from closed parallel reader")
+	}
+	n := 0
+	for n < len(buf) {
+		if pr.curOff == len(pr.cur.recs) {
+			if pr.cur.slab != nil {
+				pr.slabs.Put(pr.cur.slab)
+				pr.cur = parBlock{}
+				pr.curOff = 0
+			}
+			c, ok := <-pr.results
+			if !ok {
+				break
+			}
+			pb := <-c
+			if pb.err != nil {
+				pr.err = pb.err
+				pr.shutdown()
+				if n > 0 {
+					return n, nil
+				}
+				return 0, pr.err
+			}
+			pr.cur = pb
+			pr.curOff = 0
+		}
+		k := copy(buf[n:], pr.cur.recs[pr.curOff:])
+		n += k
+		pr.curOff += k
+		pr.read += uint64(k)
+		pr.ir.m.records.Add(int64(k))
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// shutdown stops the producer and drains every in-flight block so no
+// goroutine is left blocked. Idempotent.
+func (pr *ParallelReader) shutdown() {
+	if pr.closed {
+		return
+	}
+	pr.closed = true
+	close(pr.quit)
+	// Workers send into one-slot buffered channels, so they never block;
+	// draining the ordered channel stream releases everything in flight.
+	for c := range pr.results {
+		<-c
+	}
+	pr.pool.Wait()
+}
+
+// Close stops the workers and releases in-flight blocks. It does not close
+// the IndexedReader (whose mapping other readers may share). A fully drained
+// reader has already shut down; Close is then a no-op.
+func (pr *ParallelReader) Close() error {
+	pr.shutdown()
+	return nil
+}
