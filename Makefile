@@ -69,13 +69,16 @@ bench-stream:
 	$(GO) test -run xxx -bench 'Stream|MemDecode|MemEncode|MemPipeline' -benchtime 1s ./internal/trace/ ./internal/exp/
 
 # Benchmark-trajectory grid (see PERFORMANCE.md): the full run refreshes the
-# checked-in BENCH_PR5.json baseline; the smoke run is the CI sizing that
-# uploads an informational artifact without gating.
+# checked-in BENCH_PR10.json baseline; the smoke run is the CI sizing that
+# uploads an informational artifact and logs >20% ratio drift against the
+# checked-in snapshot without gating (ratios divide two cells measured on
+# the same machine, so they survive host-speed differences that raw ns/rec
+# numbers don't).
 bench-json:
-	$(GO) run ./cmd/lvpbench -out BENCH_PR9.json
+	$(GO) run ./cmd/lvpbench -out BENCH_PR10.json
 
 bench-json-smoke:
-	$(GO) run ./cmd/lvpbench -smoke -out bench-smoke.json
+	$(GO) run ./cmd/lvpbench -smoke -out bench-smoke.json -compare BENCH_PR10.json
 
 # Streaming memory/identity gate, run standalone (uncached): the
 # allocation-regression tests (0 allocs/record on the Reader/Writer/LVP hot

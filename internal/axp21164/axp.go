@@ -169,10 +169,10 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 	}
 	bp := bpred.New(bpred.Default21164)
 	st := Stats{Machine: cfg.Name, LVPConfig: lvpName}
-	// Re-buffer batch-capable sources (the fused pipeline, the VLT1
-	// Reader) so the in-order issue loop pulls from a local buffer instead
-	// of the upstream interface chain.
-	src = trace.Buffer(src)
+	// The slab reader turns any upstream — span-capable, batch-capable, or
+	// per-record — into slabs of records, so the in-order issue loop runs
+	// over plain slices instead of the per-record interface chain.
+	slab := trace.NewSlabReader(src)
 
 	var readyG, readyF [isa.NumRegs]int
 	cycle := 0
@@ -188,38 +188,54 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 	}
 
 	for {
-		r, pred, err := src.Next()
+		recs, preds, err := slab.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return Stats{}, err
 		}
-		st.Instructions++
-		in := r.Inst()
+		for bi := range recs {
+			r := &recs[bi]
+			pred := trace.PredNone
+			if preds != nil {
+				pred = preds[bi]
+			}
+			st.Instructions++
+			info := axpInfoOf(r.Op)
+			f := info.flags
 
-		// Earliest cycle the operands allow (strict in-order).
-		start := max(cycle, barrier)
-		var srcs [4]isa.RegRef
-		for _, ref := range isa.Sources(in, srcs[:0]) {
-			var rc int
-			if ref.FP {
-				rc = readyF[ref.Reg]
-			} else if ref.Reg != isa.R0 {
-				rc = readyG[ref.Reg]
+			// Earliest cycle the operands allow (strict in-order). The
+			// read flags replay isa.Sources order (Ra then Rb); R0 is
+			// always ready.
+			start := max(cycle, barrier)
+			if f&aReadsAny != 0 {
+				if f&aReadsRaF != 0 {
+					if rc := readyF[r.Ra]; rc > start {
+						start = rc
+					}
+				} else if f&aReadsRaG != 0 && r.Ra != isa.R0 {
+					if rc := readyG[r.Ra]; rc > start {
+						start = rc
+					}
+				}
+				if f&aReadsRbF != 0 {
+					if rc := readyF[r.Rb]; rc > start {
+						start = rc
+					}
+				} else if f&aReadsRbG != 0 && r.Rb != isa.R0 {
+					if rc := readyG[r.Rb]; rc > start {
+						start = rc
+					}
+				}
 			}
-			if rc > start {
-				start = rc
+			if start > cycle {
+				advance(start)
 			}
-		}
-		if start > cycle {
-			advance(start)
-		}
-		// Slot constraints.
-		for {
-			fp := isFP(r.Op)
-			mem := r.IsLoad() || r.IsStore()
-			if totalUsed >= cfg.IssueWidth ||
+			// Slot constraints.
+			fp := f&aFP != 0
+			mem := f&(aLoad|aStore) != 0
+			for totalUsed >= cfg.IssueWidth ||
 				(mem && memUsed >= cfg.MemPerCycle) ||
 				(fp && fpUsed >= cfg.FPSlots) ||
 				(!fp && intUsed >= cfg.IntSlots) {
@@ -227,40 +243,38 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 				if cycle < barrier {
 					advance(barrier)
 				}
-				continue
 			}
-			break
-		}
 
-		// Issue at `cycle`.
-		totalUsed++
-		if isFP(r.Op) {
-			fpUsed++
-		} else {
-			intUsed++
-		}
-		done := cycle + execLatency(r.Op)
-
-		switch {
-		case r.IsLoad():
-			memUsed++
-			done, barrier = issueLoad(r, pred, cycle, barrier, cfg, hier, &st, obsTr)
-		case r.IsStore():
-			memUsed++
-			hier.Access(r.Addr)
-			done = cycle + 1
-		case r.IsBranch():
-			if bp.Resolve(r) {
-				// Redirect after resolution (Table 5: 0/4).
-				barrier = max(barrier, cycle+1+cfg.BranchPenalty)
-			}
-		}
-
-		if ref, ok := isa.Dest(in); ok {
-			if ref.FP {
-				readyF[ref.Reg] = done
+			// Issue at `cycle`.
+			totalUsed++
+			if fp {
+				fpUsed++
 			} else {
-				readyG[ref.Reg] = done
+				intUsed++
+			}
+			done := cycle + int(info.lat)
+
+			switch {
+			case f&aLoad != 0:
+				memUsed++
+				done, barrier = issueLoad(r, pred, cycle, barrier, cfg, hier, &st, obsTr)
+			case f&aStore != 0:
+				memUsed++
+				hier.Access(r.Addr)
+				done = cycle + 1
+			case f&aBranch != 0:
+				if bp.Resolve(r) {
+					// Redirect after resolution (Table 5: 0/4).
+					barrier = max(barrier, cycle+1+cfg.BranchPenalty)
+				}
+			}
+
+			// Destination availability, mirroring isa.Dest: an FPR dest
+			// wins, a GPR dest counts only for a real register.
+			if f&aDestF != 0 {
+				readyF[r.Rd] = done
+			} else if f&aDestG != 0 && r.Rd != isa.R0 {
+				readyG[r.Rd] = done
 			}
 		}
 	}

@@ -1,0 +1,85 @@
+package axp21164
+
+import "lvp/internal/isa"
+
+// Per-opcode table behind the in-order issue loop. The loop used to call
+// execLatency, isFP, Record.IsLoad/IsStore/IsBranch and isa.Sources/Dest for
+// every dynamic instruction; axpTab precomputes one row per opcode at init
+// *from* those functions, so they remain the single authority
+// (TestAxpTabMatchesFunctions pins the table against them).
+
+type aInfo struct {
+	lat   int32
+	flags uint16
+}
+
+const (
+	aFP uint16 = 1 << iota
+	aLoad
+	aStore
+	aBranch
+	aDestG // writes a GPR (R0 filtered at the use site, like isa.Dest)
+	aDestF
+	aReadsRaG
+	aReadsRaF
+	aReadsRbG
+	aReadsRbF
+	aReadsAny = aReadsRaG | aReadsRaF | aReadsRbG | aReadsRbF
+)
+
+var axpTab [isa.NumOps]aInfo
+
+// axpOutOfRange serves opcodes beyond NumOps (possible in a hand-built
+// record), matching what execLatency computes through ClassOf's clamp.
+var axpOutOfRange aInfo
+
+func init() {
+	build := func(op isa.Op) aInfo {
+		info := aInfo{lat: int32(execLatency(op))}
+		if isFP(op) {
+			info.flags |= aFP
+		}
+		m := isa.MetaOf(op)
+		if m.Load {
+			info.flags |= aLoad
+		}
+		if m.Store {
+			info.flags |= aStore
+		}
+		if m.Branch {
+			info.flags |= aBranch
+		}
+		if m.WGPR {
+			info.flags |= aDestG
+		}
+		if m.WFPR {
+			info.flags |= aDestF
+		}
+		if m.ReadsRaG {
+			info.flags |= aReadsRaG
+		}
+		if m.ReadsRaF {
+			info.flags |= aReadsRaF
+		}
+		if m.ReadsRbG {
+			info.flags |= aReadsRbG
+		}
+		if m.ReadsRbF {
+			info.flags |= aReadsRbF
+		}
+		return info
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		axpTab[op] = build(op)
+	}
+	axpOutOfRange = build(isa.Op(isa.NumOps))
+}
+
+// axpInfoOf returns op's table row, clamping out-of-range opcodes the way
+// isa.ClassOf does.
+func axpInfoOf(op isa.Op) *aInfo {
+	if int(op) >= isa.NumOps {
+		return &axpOutOfRange
+	}
+	return &axpTab[op]
+}

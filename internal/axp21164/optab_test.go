@@ -1,0 +1,48 @@
+package axp21164
+
+import (
+	"testing"
+
+	"lvp/internal/isa"
+)
+
+// TestAxpTabMatchesFunctions pins every axpTab row (plus the out-of-range
+// fallback) against the switch functions it was derived from, so a new
+// opcode or a latency tweak cannot silently diverge from the table.
+func TestAxpTabMatchesFunctions(t *testing.T) {
+	check := func(op isa.Op, info *aInfo) {
+		t.Helper()
+		if got, want := int(info.lat), execLatency(op); got != want {
+			t.Errorf("op %v: lat = %d, want %d", op, got, want)
+		}
+		m := isa.MetaOf(op)
+		flagChecks := []struct {
+			name string
+			bit  uint16
+			want bool
+		}{
+			{"aFP", aFP, isFP(op)},
+			{"aLoad", aLoad, m.Load},
+			{"aStore", aStore, m.Store},
+			{"aBranch", aBranch, m.Branch},
+			{"aDestG", aDestG, m.WGPR},
+			{"aDestF", aDestF, m.WFPR},
+			{"aReadsRaG", aReadsRaG, m.ReadsRaG},
+			{"aReadsRaF", aReadsRaF, m.ReadsRaF},
+			{"aReadsRbG", aReadsRbG, m.ReadsRbG},
+			{"aReadsRbF", aReadsRbF, m.ReadsRbF},
+		}
+		for _, fc := range flagChecks {
+			if got := info.flags&fc.bit != 0; got != fc.want {
+				t.Errorf("op %v: flag %s = %v, want %v", op, fc.name, got, fc.want)
+			}
+		}
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		check(op, axpInfoOf(op))
+	}
+	// Out-of-range opcodes clamp exactly like the functions do.
+	for _, op := range []isa.Op{isa.Op(isa.NumOps), isa.Op(isa.NumOps + 7), 255} {
+		check(op, axpInfoOf(op))
+	}
+}

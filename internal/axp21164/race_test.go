@@ -1,0 +1,7 @@
+//go:build race
+
+package axp21164
+
+// raceEnabled gates the allocation-regression tests, which measure
+// allocs/op and are meaningless under the race detector's instrumentation.
+const raceEnabled = true

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"lvp/internal/bench"
+	"lvp/internal/lvp"
+	"lvp/internal/prog"
+)
+
+// TestDumpSimStats writes every machine-model and annotation statistic the
+// suite produces to the file named by SIM_STATS_OUT, as canonical JSON. It is
+// a refactoring harness, skipped in normal runs: capture the dump before a
+// machine-model or LVP-unit change, re-run after, and diff — the two files
+// must be byte-identical, because optimization work on the simulators must
+// never change a single simulated decision.
+func TestDumpSimStats(t *testing.T) {
+	out := os.Getenv("SIM_STATS_OUT")
+	if out == "" {
+		t.Skip("set SIM_STATS_OUT=<path> to dump simulation statistics")
+	}
+	s := NewSuiteParallel(1, 0)
+	type row struct {
+		Key string
+		Val any
+	}
+	var rows []row
+	add := func(key string, v any, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		rows = append(rows, row{key, v})
+	}
+	cfgs := []*lvp.Config{nil, &lvp.Simple, &lvp.Limit, &lvp.Perfect}
+	for _, b := range bench.All() {
+		for _, cfg := range cfgs {
+			name := "none"
+			if cfg != nil {
+				name = cfg.Name
+			}
+			st620, err := s.Sim620(b.Name, false, cfg)
+			add("620/"+b.Name+"/"+name, st620, err)
+			st164, err := s.Sim21164(b.Name, cfg)
+			add("21164/"+b.Name+"/"+name, st164, err)
+		}
+		stp, err := s.Sim620(b.Name, true, &lvp.Simple)
+		add("620+/"+b.Name+"/Simple", stp, err)
+		for _, cfg := range []lvp.Config{lvp.Simple, lvp.Constant, lvp.Limit, lvp.SimpleTagged, lvp.SimpleAssoc4} {
+			for _, tgt := range []prog.Target{prog.PPC, prog.AXP} {
+				ast, err := s.AnnotationStats(b.Name, tgt, cfg)
+				add("ann/"+b.Name+"/"+tgt.Name+"/"+cfg.Name, ast, err)
+			}
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -133,6 +133,7 @@ type Suite struct {
 // of its WithContext views.
 type suiteCaches struct {
 	traces par.Cache[traceKey, *trace.Trace]
+	loads  par.Cache[traceKey, lvp.LoadSlab]
 	anns   par.Cache[annKey, annotated]
 	s620   par.Cache[sim620Key, ppc620.Stats]
 	s164   par.Cache[sim164Key, axp21164.Stats]
@@ -224,6 +225,21 @@ func (s *Suite) Trace(name string, target prog.Target) (*trace.Trace, error) {
 			slog.String("bench", name), slog.String("target", target.Name),
 			slog.Int("records", len(t.Records)))
 		return t, nil
+	})
+}
+
+// Loads returns the benchmark's PPC dynamic-load stream in decode-once slab
+// form (PC/value pairs of every load, trace order). The slab is extracted
+// once per (benchmark, scale) and shared — the predictor-zoo sweep fans
+// every family out over it instead of re-filtering the record stream.
+func (s *Suite) Loads(name string) (lvp.LoadSlab, error) {
+	ctx := s.context()
+	return s.cacheState().loads.GetCtx(ctx, traceKey{name, prog.PPC.Name, s.Scale}, func() (lvp.LoadSlab, error) {
+		t, err := s.Trace(name, prog.PPC)
+		if err != nil {
+			return lvp.LoadSlab{}, err
+		}
+		return lvp.ExtractLoads(t), nil
 	})
 }
 
@@ -372,6 +388,16 @@ func (s *Suite) forEachBench(fn func(b bench.Benchmark) error) error {
 // in reporting order regardless of completion order.
 func (s *Suite) forEachBenchIdx(fn func(i int, b bench.Benchmark) error) error {
 	all := bench.All()
+	return s.forEachIdx(len(all), func(i int) error {
+		return fn(i, all[i])
+	})
+}
+
+// forEachIdx runs fn over [0, n) on the suite's worker pool with the
+// standard occupancy meter — the raw fan-out under forEachBenchIdx, for
+// drivers whose task grid is wider than one benchmark dimension (the zoo
+// sweep's family × benchmark cells).
+func (s *Suite) forEachIdx(n int, fn func(i int) error) error {
 	var meter par.Meter
 	if s.Metrics != nil {
 		// The pool.busy gauge tracks live worker occupancy; its
@@ -379,7 +405,5 @@ func (s *Suite) forEachBenchIdx(fn func(i int, b bench.Benchmark) error) error {
 		// actually used.
 		meter = s.Metrics.Gauge("pool.busy")
 	}
-	return par.ForEachMeterCtx(s.context(), s.workers(), len(all), meter, func(i int) error {
-		return fn(i, all[i])
-	})
+	return par.ForEachMeterCtx(s.context(), s.workers(), n, meter, fn)
 }

@@ -8,7 +8,6 @@ import (
 
 	"lvp/internal/bench"
 	"lvp/internal/lvp"
-	"lvp/internal/prog"
 	"lvp/internal/report"
 	"lvp/internal/stats"
 )
@@ -37,7 +36,10 @@ func (s *Suite) ZooCell(benchName, family string) (ZooCell, error) {
 	}
 	ctx := s.context()
 	return s.cacheState().zoo.GetCtx(ctx, zooKey{benchName, family, s.Scale}, func() (ZooCell, error) {
-		t, err := s.Trace(benchName, prog.PPC)
+		// Decode once, fan out: every family's cell for this benchmark
+		// measures over the same cached load slab instead of re-walking
+		// the full record stream.
+		loads, err := s.Loads(benchName)
 		if err != nil {
 			return ZooCell{}, err
 		}
@@ -45,7 +47,7 @@ func (s *Suite) ZooCell(benchName, family string) (ZooCell, error) {
 			return ZooCell{}, err
 		}
 		start := time.Now()
-		m := lvp.MeasureZoo(t, f.New())
+		m := lvp.MeasureZooLoads(loads, f.New())
 		s.recordZooStats(m)
 		s.finishPhase("zoo", start,
 			slog.String("bench", benchName), slog.String("family", family))
@@ -97,21 +99,26 @@ func (s *Suite) ZooSweep(families []string) (*ZooResult, error) {
 		MeanCov:    make([]float64, len(fams)),
 		MeanAcc:    make([]float64, len(fams)),
 	}
-	for fi, fam := range fams {
-		// Per-benchmark slots keep reductions in reporting order, so the
-		// rendered bytes are identical for every worker count.
-		cells := make([]lvp.ZooMeasure, len(all))
-		err := s.forEachBenchIdx(func(bi int, b bench.Benchmark) error {
-			c, err := s.ZooCell(b.Name, fam)
-			if err != nil {
-				return err
-			}
-			cells[bi] = c.ZooMeasure
-			return nil
-		})
+	// One flat fan-out over the whole family × benchmark grid, instead of a
+	// per-family barrier: with F families and B benchmarks the pool sees
+	// F×B tasks at once, so a slow family no longer serializes the sweep.
+	// Flat slots indexed by grid position keep reductions in reporting
+	// order, so the rendered bytes are identical for every worker count.
+	flat := make([]lvp.ZooMeasure, len(fams)*len(all))
+	err = s.forEachIdx(len(flat), func(k int) error {
+		fi, bi := k/len(all), k%len(all)
+		c, err := s.ZooCell(all[bi].Name, fams[fi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		flat[k] = c.ZooMeasure
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi := range fams {
+		cells := flat[fi*len(all) : (fi+1)*len(all)]
 		res.Cells[fi] = cells
 		covs, accs := make([]float64, len(cells)), make([]float64, len(cells))
 		for i, m := range cells {

@@ -1,0 +1,61 @@
+package isa
+
+// Per-opcode metadata, precomputed once at init so the timing models' inner
+// loops read one table row instead of re-running the Sources/Dest/WritesGPR
+// switches for every dynamic instruction. The table is *derived* from those
+// switch functions — they stay the single authority on the ISA's dataflow —
+// and TestOpMetaMatchesSwitches pins the derivation exhaustively.
+
+// OpMeta is everything the hot loops ask about an opcode. Which registers an
+// instruction reads is op-determined (operands are only ever Ra and/or Rb,
+// each in a fixed file), so four booleans plus the record's own Ra/Rb fields
+// reproduce Sources exactly, in Sources order (Ra before Rb).
+type OpMeta struct {
+	Class Class
+	// Register reads: Ra/Rb as a GPR or FPR operand.
+	ReadsRaG, ReadsRaF bool
+	ReadsRbG, ReadsRbF bool
+	// Register write: Rd in the GPR or FPR file (WritesGPR/WritesFPR).
+	WGPR, WFPR          bool
+	Load, Store, Branch bool
+}
+
+var opMeta [NumOps]OpMeta
+
+// nopMeta is returned for out-of-range opcodes, matching ClassOf's clamp.
+var nopMeta OpMeta
+
+func init() {
+	for op := Op(0); int(op) < NumOps; op++ {
+		m := &opMeta[op]
+		m.Class = ClassOf(op)
+		// Probe Sources with distinguishable registers: a returned ref
+		// with Reg 1 is the Ra operand, Reg 2 the Rb operand.
+		var refs [4]RegRef
+		for _, ref := range Sources(Inst{Op: op, Ra: 1, Rb: 2}, refs[:0]) {
+			switch ref.Reg {
+			case 1:
+				m.ReadsRaG = m.ReadsRaG || !ref.FP
+				m.ReadsRaF = m.ReadsRaF || ref.FP
+			case 2:
+				m.ReadsRbG = m.ReadsRbG || !ref.FP
+				m.ReadsRbF = m.ReadsRbF || ref.FP
+			}
+		}
+		in := Inst{Op: op, Rd: 1}
+		m.WGPR = WritesGPR(in)
+		m.WFPR = WritesFPR(in)
+		m.Load = IsLoad(op)
+		m.Store = IsStore(op)
+		m.Branch = IsBranch(op)
+	}
+}
+
+// MetaOf returns the metadata row for op. Out-of-range opcodes (possible in
+// a hand-built Record) get the NOP row, consistent with ClassOf.
+func MetaOf(op Op) *OpMeta {
+	if int(op) >= NumOps {
+		return &nopMeta
+	}
+	return &opMeta[op]
+}

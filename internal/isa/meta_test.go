@@ -1,0 +1,51 @@
+package isa
+
+import "testing"
+
+// TestOpMetaMatchesSwitches pins the derived OpMeta table against the
+// authoritative switch functions, exhaustively over every opcode and a
+// register assignment sweep: reconstructing Sources from the four read flags
+// must reproduce the real Sources slice element-for-element (same refs, same
+// order), and the class/write/kind fields must match their origin functions.
+func TestOpMetaMatchesSwitches(t *testing.T) {
+	regCases := []struct{ ra, rb Reg }{{1, 2}, {0, 0}, {5, 5}, {0, 7}, {31, 0}}
+	for op := Op(0); int(op) < NumOps+2; op++ {
+		m := MetaOf(op)
+		if m.Class != ClassOf(op) {
+			t.Errorf("op %d: meta class %v, ClassOf %v", op, m.Class, ClassOf(op))
+		}
+		if m.Load != IsLoad(op) || m.Store != IsStore(op) || m.Branch != IsBranch(op) {
+			t.Errorf("op %d: load/store/branch flags diverge", op)
+		}
+		in := Inst{Op: op, Rd: 3}
+		if m.WGPR != WritesGPR(in) || m.WFPR != WritesFPR(in) {
+			t.Errorf("op %d: write flags diverge", op)
+		}
+		for _, rc := range regCases {
+			in := Inst{Op: op, Ra: rc.ra, Rb: rc.rb}
+			var buf [4]RegRef
+			want := Sources(in, buf[:0])
+			var got []RegRef
+			if m.ReadsRaG {
+				got = append(got, RegRef{Reg: in.Ra})
+			}
+			if m.ReadsRaF {
+				got = append(got, RegRef{Reg: in.Ra, FP: true})
+			}
+			if m.ReadsRbG {
+				got = append(got, RegRef{Reg: in.Rb})
+			}
+			if m.ReadsRbF {
+				got = append(got, RegRef{Reg: in.Rb, FP: true})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("op %d ra=%d rb=%d: meta reconstructs %v, Sources %v", op, rc.ra, rc.rb, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op %d ra=%d rb=%d: meta reconstructs %v, Sources %v", op, rc.ra, rc.rb, got, want)
+				}
+			}
+		}
+	}
+}

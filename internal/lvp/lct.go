@@ -52,6 +52,11 @@ type LCT struct {
 	max      uint8
 	mask     uint64
 	counters []uint8
+	// classTab maps every possible raw counter value to its classification
+	// (classOf precomputed over the uint8 range), so the batched load path
+	// classifies and records transitions with two table reads instead of
+	// re-running the width-dependent branches per load.
+	classTab [256]Classification
 	stats    LCTStats
 }
 
@@ -64,12 +69,16 @@ func NewLCT(entries, bits int) *LCT {
 	if bits < 1 || bits > 8 {
 		panic("lvp: LCT bits must be in [1,8]")
 	}
-	return &LCT{
+	l := &LCT{
 		bits:     bits,
 		max:      uint8(1<<bits - 1),
 		mask:     uint64(entries - 1),
 		counters: make([]uint8, entries),
 	}
+	for v := 0; v < len(l.classTab); v++ {
+		l.classTab[v] = l.classOf(uint8(v))
+	}
+	return l
 }
 
 func (l *LCT) index(pc uint64) int {

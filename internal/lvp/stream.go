@@ -16,6 +16,10 @@ import (
 // pipeline at full speed.
 type Annotator struct {
 	u *Unit
+	// Gather scratch for RecordBatch: consecutive loads are copied into
+	// these parallel slices so Unit.LoadBatch runs over plain arrays. They
+	// grow to the longest load run seen and are then reused.
+	pcs, addrs, vals []uint64
 }
 
 // NewAnnotator returns a streaming annotator for the given configuration;
@@ -41,23 +45,38 @@ func (a *Annotator) Record(r *trace.Record) trace.PredState {
 	return trace.PredNone
 }
 
-// RecordBatch processes recs[:n] in order, writing each record's state
-// into the parallel states slice (len(states) must be at least n). It is
-// exactly n calls to Record with the per-record switch dispatch hoisted
-// out of the interface-call chain.
+// RecordBatch processes recs in order, writing each record's state into the
+// parallel states slice (len(states) must be at least len(recs)). It is
+// exactly len(recs) calls to Record: runs of consecutive loads are gathered
+// into parallel operand slices and handed to Unit.LoadBatch (whose states
+// land contiguously back in states), stores and other records are handled
+// in place. Trace order — and with it the CVU invalidation discipline — is
+// preserved exactly.
 func (a *Annotator) RecordBatch(recs []trace.Record, states []trace.PredState) {
 	u := a.u
-	for i := range recs {
+	for i := 0; i < len(recs); {
 		r := &recs[i]
-		switch {
-		case r.IsLoad():
-			states[i] = u.Load(r.PC, r.Addr, r.Value)
-		case r.IsStore():
-			u.Store(r.Addr, int(r.Size))
+		if !r.IsLoad() {
+			if r.IsStore() {
+				u.Store(r.Addr, int(r.Size))
+			}
 			states[i] = trace.PredNone
-		default:
-			states[i] = trace.PredNone
+			i++
+			continue
 		}
+		j := i + 1
+		for j < len(recs) && recs[j].IsLoad() {
+			j++
+		}
+		a.pcs, a.addrs, a.vals = a.pcs[:0], a.addrs[:0], a.vals[:0]
+		for k := i; k < j; k++ {
+			rk := &recs[k]
+			a.pcs = append(a.pcs, rk.PC)
+			a.addrs = append(a.addrs, rk.Addr)
+			a.vals = append(a.vals, rk.Value)
+		}
+		u.LoadBatch(a.pcs, a.addrs, a.vals, states[i:j])
+		i = j
 	}
 }
 

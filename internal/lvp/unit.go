@@ -266,6 +266,139 @@ func (u *Unit) Load(pc, addr, actual uint64) trace.PredState {
 	return state
 }
 
+// LoadBatch processes a run of dynamic loads given as parallel slices —
+// pcs[i], addrs[i] and actuals[i] describe load i — writing each load's
+// four-state annotation into states[i]. It is decision-for-decision and
+// counter-for-counter equivalent to len(pcs) sequential Load calls; the
+// batched form exists so the hot annotation loop runs over the unit's flat
+// table arrays (LVPT values/lengths, LCT counters) instead of re-entering
+// the interface and method chain per load. len(addrs), len(actuals) and
+// len(states) must be at least len(pcs).
+func (u *Unit) LoadBatch(pcs, addrs, actuals []uint64, states []trace.PredState) {
+	n := len(pcs)
+	if u.cfg.Perfect {
+		u.stats.Loads += n
+		u.stats.States[trace.PredCorrect] += n
+		u.stats.PredictableTotal += n
+		u.stats.PredictableIdentified += n
+		for i := range states[:n] {
+			states[i] = trace.PredCorrect
+		}
+		return
+	}
+	// The direct path covers the paper's baseline organisation — untagged
+	// direct-mapped LVPT at history depth one — with tracing off on every
+	// channel the per-load path could emit on. Anything else (deep
+	// histories, tagged/assoc tables, attached tracers) falls back to the
+	// reference per-load path.
+	if t, ok := u.lvpt.(*LVPT); ok && t.depth == 1 &&
+		!u.tr.Enabled(obs.ChanLVPT) && !u.tr.Enabled(obs.ChanLCT) && !u.tr.Enabled(obs.ChanCVU) {
+		u.loadBatchDirect(t, pcs[:n], addrs, actuals, states)
+		return
+	}
+	for i := 0; i < n; i++ {
+		states[i] = u.Load(pcs[i], addrs[i], actuals[i])
+	}
+}
+
+// loadBatchDirect is Load's logic unrolled over the depth-1 untagged LVPT's
+// flat arrays. Counter-update order differs from the per-load path only
+// within a single load (all counters are simple sums), and every decision —
+// classification, CVU lookup/insert/invalidate, state selection — is
+// identical; TestLoadBatchMatchesLoad pins that equivalence.
+func (u *Unit) loadBatchDirect(t *LVPT, pcs, addrs, actuals []uint64, states []trace.PredState) {
+	l := u.lct
+	st := &u.stats
+	st.Loads += len(pcs)
+	for i := range pcs {
+		pc, actual := pcs[i], actuals[i]
+		idx := t.Index(pc)
+		t.stats.Lookups++
+		if t.lengths[idx] != 0 {
+			t.stats.Hits++
+		}
+		// A cold entry's value slot is zero, exactly what Predict reports
+		// for it, so the comparison needs no warm/cold branch.
+		correct := t.values[idx] == actual
+		li := l.index(pc)
+		c := l.counters[li]
+		class := l.classTab[c]
+		l.stats.Lookups++
+
+		var state trace.PredState
+		switch class {
+		case ClassNoPredict:
+			state = trace.PredNone
+		case ClassPredict:
+			if correct {
+				state = trace.PredCorrect
+			} else {
+				state = trace.PredIncorrect
+			}
+		case ClassConstant:
+			// The CVU seam is the per-load one: Lookup, then Insert on
+			// the verified-correct miss (paper §3.3).
+			hit := u.cvu.Lookup(addrs[i], idx)
+			switch {
+			case hit && correct:
+				state = trace.PredConstant
+			case hit:
+				st.CoherenceViolations++
+				state = trace.PredIncorrect
+			case correct:
+				state = trace.PredCorrect
+				u.cvu.Insert(addrs[i], idx)
+				st.CVUInserts++
+			default:
+				state = trace.PredIncorrect
+			}
+		}
+
+		// LCT update (saturating), with the transition recorded through
+		// the precomputed class table.
+		nc := c
+		if correct {
+			if c < l.max {
+				nc = c + 1
+			}
+		} else if c > 0 {
+			nc = c - 1
+		}
+		l.counters[li] = nc
+		l.stats.Updates++
+		l.stats.Transitions[class][l.classTab[nc]]++
+
+		// LVPT update at depth one. A cold entry always changes when it
+		// takes its first value — even a zero, which the comparison alone
+		// would miss — and a warm one changes only when displaced; either
+		// change invalidates the CVU entries vouching for this index.
+		t.stats.Updates++
+		if t.lengths[idx] == 0 {
+			t.lengths[idx] = 1
+			t.values[idx] = actual
+			st.CVUIndexInvalidations += u.cvu.InvalidateIndex(idx)
+		} else if t.values[idx] != actual {
+			t.stats.Replacements++
+			t.values[idx] = actual
+			st.CVUIndexInvalidations += u.cvu.InvalidateIndex(idx)
+		}
+
+		st.States[state]++
+		if correct {
+			st.PredictableTotal++
+			if class != ClassNoPredict {
+				st.PredictableIdentified++
+			}
+		} else {
+			st.UnpredictableTotal++
+			if class == ClassNoPredict {
+				st.UnpredictableIdentified++
+			}
+		}
+		states[i] = state
+	}
+}
+
 // Annotate runs the LVP Unit over a trace (phase 2 of the paper's
 // experimental framework, §5) and returns the per-record prediction states
 // plus unit statistics.
@@ -284,8 +417,6 @@ func AnnotateTraced(t *trace.Trace, cfg Config, tr *obs.Tracer) (trace.Annotatio
 		return nil, Stats{}, fmt.Errorf("annotating %s: %w", t.Name, err)
 	}
 	ann := trace.NewAnnotation(t)
-	for i := range t.Records {
-		ann[i] = a.Record(&t.Records[i])
-	}
+	a.RecordBatch(t.Records, ann)
 	return ann, a.Stats(), nil
 }

@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot comparison: the ratio keys are the grid's noise-resistant axis —
+// each one divides two cells measured in the same process on the same
+// machine, so host speed cancels out and what remains is the relative shape
+// of the pipeline. Compare diffs those keys between two reports, which is
+// what the CI perf-smoke step flags on (informationally: CI machines are
+// too noisy to gate on, but a >20% shape change is worth a line in the log).
+
+// Drift is one ratio key's movement between two reports. Change is
+// fractional: New/Old - 1, so -0.25 reads "this speedup lost a quarter".
+type Drift struct {
+	Key    string  `json:"key"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Change float64 `json:"change"`
+}
+
+// Compare returns the ratio keys present in both reports whose value moved
+// by more than threshold (fractional, e.g. 0.20 for 20%), sorted by key.
+// Keys present in only one report are structural changes, not drift, and
+// are ignored.
+func Compare(old, cur *Report, threshold float64) []Drift {
+	var out []Drift
+	for key, ov := range old.Ratios {
+		nv, ok := cur.Ratios[key]
+		if !ok || ov == 0 {
+			continue
+		}
+		change := nv/ov - 1
+		if change > threshold || change < -threshold {
+			out = append(out, Drift{Key: key, Old: ov, New: nv, Change: round3(change)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ReadReport loads a report snapshot (a BENCH_*.json file).
+func ReadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteDrift renders drifts one per line, or a clean-bill line when empty.
+func WriteDrift(w io.Writer, against string, drifts []Drift, threshold float64) {
+	if len(drifts) == 0 {
+		fmt.Fprintf(w, "perf: no ratio drift >%.0f%% vs %s\n", threshold*100, against)
+		return
+	}
+	for _, d := range drifts {
+		fmt.Fprintf(w, "perf: ratio %s drifted %+.1f%% vs %s (%.3f -> %.3f)\n",
+			d.Key, d.Change*100, against, d.Old, d.New)
+	}
+}

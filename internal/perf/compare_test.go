@@ -1,0 +1,39 @@
+package perf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCompareFlagsOnlyLargeDrift(t *testing.T) {
+	old := &Report{Ratios: map[string]float64{
+		"steady":     2.0, // moves 5%: under threshold
+		"regressed":  4.0, // loses 25%
+		"improved":   1.0, // gains 50%
+		"vanished":   3.0, // absent from the new report: structural, ignored
+		"zero_based": 0.0, // zero old value: ratio undefined, ignored
+	}}
+	cur := &Report{Ratios: map[string]float64{
+		"steady":     2.1,
+		"regressed":  3.0,
+		"improved":   1.5,
+		"zero_based": 1.0,
+		"brand_new":  9.0, // absent from the old report: structural, ignored
+	}}
+	got := Compare(old, cur, 0.20)
+	want := []Drift{
+		{Key: "improved", Old: 1.0, New: 1.5, Change: 0.5},
+		{Key: "regressed", Old: 4.0, New: 3.0, Change: -0.25},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Compare:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestCompareExactThresholdIsQuiet(t *testing.T) {
+	old := &Report{Ratios: map[string]float64{"r": 1.0}}
+	cur := &Report{Ratios: map[string]float64{"r": 1.2}}
+	if got := Compare(old, cur, 0.20); len(got) != 0 {
+		t.Fatalf("movement exactly at threshold should not flag, got %+v", got)
+	}
+}

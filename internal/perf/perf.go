@@ -1,6 +1,7 @@
 // Package perf is the benchmark-trajectory harness: a fixed grid of
-// pipeline-stage benchmarks (generation, VLT1 codec, annotation, the fused
-// streaming cell, both timing models) executed programmatically via
+// pipeline-stage benchmarks (generation, both trace codecs, annotation, the
+// fused streaming cell, both timing models on their record and batch fetch
+// paths, the predictor-zoo sweep) executed programmatically via
 // testing.Benchmark and reported as a stable JSON document. The checked-in
 // BENCH_*.json snapshots give every PR a measurable perf baseline — see
 // PERFORMANCE.md for how to read and refresh them.
@@ -134,8 +135,12 @@ var grid = []gridCell{
 	{"pipeline.fused.batch", nil, benchFusedBatch},
 	{"pipeline.file.vlt1", encBytes, benchFileVLT1},
 	{"pipeline.file.vlt2", enc2Bytes, benchFileVLT2},
-	{"sim.620", nil, benchSim620},
-	{"sim.21164", nil, benchSim21164},
+	{"sim.620.record", nil, benchSim620Record},
+	{"sim.620.batch", nil, benchSim620Batch},
+	{"sim.21164.record", nil, benchSim21164Record},
+	{"sim.21164.batch", nil, benchSim21164Batch},
+	{"zoo.sweep", nil, benchZooSweep},
+	{"zoo.sweep.shared", nil, benchZooSweepShared},
 }
 
 // ratios maps each fixed ratio key to its numerator/denominator entries,
@@ -150,6 +155,9 @@ var ratios = []struct{ key, num, den string }{
 	{"vlt2_fixed_speedup", "codec2.decode.fixed", "codec.decode.batch"},
 	{"vlt2_fixed_parallel_speedup", "codec2.decode.fixed.parallel", "codec.decode.batch"},
 	{"file_pipeline_speedup", "pipeline.file.vlt2", "pipeline.file.vlt1"},
+	{"sim_620_batch_speedup", "sim.620.batch", "sim.620.record"},
+	{"sim_21164_batch_speedup", "sim.21164.batch", "sim.21164.record"},
+	{"zoo_shared_speedup", "zoo.sweep.shared", "zoo.sweep"},
 }
 
 // Run executes the full grid and returns the report.
@@ -597,14 +605,59 @@ func benchFileVLT2(b *testing.B, w *workload) {
 	}
 }
 
-func benchSim620(b *testing.B, w *workload) {
+// The sim.* record/batch pairs isolate the machine-model loops on the
+// prepared in-memory trace: .batch is the default slab-at-a-time fetch path
+// (what Simulate runs), .record hides the source's batch capability so the
+// same loop pays a per-record interface pull — the PR-9 regime.
+
+func benchSim620Record(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		src := perRecordAnnotated{w.tr.StreamAnnotated(w.ann)}
+		if _, err := ppc620.SimulateSource(src, ppc620.Config620(), lvp.Simple.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSim620Batch(b *testing.B, w *workload) {
 	for i := 0; i < b.N; i++ {
 		ppc620.Simulate(w.tr, w.ann, ppc620.Config620(), lvp.Simple.Name)
 	}
 }
 
-func benchSim21164(b *testing.B, w *workload) {
+func benchSim21164Record(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		src := perRecordAnnotated{w.tr.StreamAnnotated(w.ann)}
+		if _, err := axp21164.SimulateSource(src, axp21164.Config21164(), lvp.Simple.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSim21164Batch(b *testing.B, w *workload) {
 	for i := 0; i < b.N; i++ {
 		axp21164.Simulate(w.tr, w.ann, axp21164.Config21164(), lvp.Simple.Name)
+	}
+}
+
+// The zoo.sweep pair measures the full predictor-zoo registry over the
+// workload trace: .sweep re-walks (and re-filters) the record stream per
+// family, .shared extracts the load slab once and fans every family out
+// over it — the decode-once path exp.ZooSweep takes.
+
+func benchZooSweep(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		for _, f := range lvp.Families() {
+			lvp.MeasureZoo(w.tr, f.New())
+		}
+	}
+}
+
+func benchZooSweepShared(b *testing.B, w *workload) {
+	for i := 0; i < b.N; i++ {
+		loads := lvp.ExtractLoads(w.tr)
+		for _, f := range lvp.Families() {
+			lvp.MeasureZooLoads(loads, f.New())
+		}
 	}
 }

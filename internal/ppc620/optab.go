@@ -1,0 +1,91 @@
+package ppc620
+
+import "lvp/internal/isa"
+
+// The per-opcode table behind the model's hot loops. prepare and dispatch
+// used to re-derive the same facts for every dynamic instruction — functional
+// unit, latency, write/read sets — through the isa switch functions; opTab
+// precomputes one row per opcode at init, *from* those functions, so they
+// remain the single authority (isa.TestOpMetaMatchesSwitches pins the shared
+// read/write derivation, TestOpTabMatchesFunctions pins this table).
+
+type opInfo struct {
+	fu    FU
+	lat   int32
+	flags uint16
+}
+
+const (
+	opWritesGPR uint16 = 1 << iota
+	opWritesFPR
+	opIsCompare
+	opIsLoad
+	opIsStore
+	opIsBranch
+	opNonPipeFP // ClassComplexFP: occupies the FPU until done
+	opReadsRaG
+	opReadsRaF
+	opReadsRbG
+	opReadsRbF
+	opReadsAny = opReadsRaG | opReadsRaF | opReadsRbG | opReadsRbF
+)
+
+var opTab [isa.NumOps]opInfo
+
+// outOfRangeInfo serves opcodes beyond NumOps (possible in a hand-built
+// record), matching what fuOf/execLatency compute through ClassOf's clamp.
+var outOfRangeInfo opInfo
+
+func init() {
+	build := func(op isa.Op) opInfo {
+		info := opInfo{fu: fuOf(op), lat: int32(execLatency(op))}
+		m := isa.MetaOf(op)
+		if m.WGPR {
+			info.flags |= opWritesGPR
+		}
+		if m.WFPR {
+			info.flags |= opWritesFPR
+		}
+		if isCompare(op) {
+			info.flags |= opIsCompare
+		}
+		if m.Load {
+			info.flags |= opIsLoad
+		}
+		if m.Store {
+			info.flags |= opIsStore
+		}
+		if m.Branch {
+			info.flags |= opIsBranch
+		}
+		if m.Class == isa.ClassComplexFP {
+			info.flags |= opNonPipeFP
+		}
+		if m.ReadsRaG {
+			info.flags |= opReadsRaG
+		}
+		if m.ReadsRaF {
+			info.flags |= opReadsRaF
+		}
+		if m.ReadsRbG {
+			info.flags |= opReadsRbG
+		}
+		if m.ReadsRbF {
+			info.flags |= opReadsRbF
+		}
+		return info
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		opTab[op] = build(op)
+	}
+	outOfRangeInfo = build(isa.Op(isa.NumOps))
+}
+
+// infoOf returns op's table row, clamping out-of-range opcodes the way
+// isa.ClassOf does.
+func infoOf(op isa.Op) *opInfo {
+	if int(op) >= isa.NumOps {
+		return &outOfRangeInfo
+	}
+	return &opTab[op]
+}

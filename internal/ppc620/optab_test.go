@@ -1,0 +1,52 @@
+package ppc620
+
+import (
+	"testing"
+
+	"lvp/internal/isa"
+)
+
+// TestOpTabMatchesFunctions pins every opTab row (and the out-of-range
+// fallback) against the switch functions it was derived from, so the
+// functions stay the single authority and a new opcode or a changed
+// latency cannot silently diverge from the table the hot loop reads.
+func TestOpTabMatchesFunctions(t *testing.T) {
+	check := func(op isa.Op, info *opInfo) {
+		if got, want := info.fu, fuOf(op); got != want {
+			t.Errorf("op %d: table fu %v, fuOf %v", op, got, want)
+		}
+		if got, want := info.lat, int32(execLatency(op)); got != want {
+			t.Errorf("op %d: table latency %d, execLatency %d", op, got, want)
+		}
+		m := isa.MetaOf(op)
+		flags := []struct {
+			name string
+			bit  uint16
+			want bool
+		}{
+			{"WritesGPR", opWritesGPR, m.WGPR},
+			{"WritesFPR", opWritesFPR, m.WFPR},
+			{"IsCompare", opIsCompare, isCompare(op)},
+			{"IsLoad", opIsLoad, m.Load},
+			{"IsStore", opIsStore, m.Store},
+			{"IsBranch", opIsBranch, m.Branch},
+			{"NonPipeFP", opNonPipeFP, m.Class == isa.ClassComplexFP},
+			{"ReadsRaG", opReadsRaG, m.ReadsRaG},
+			{"ReadsRaF", opReadsRaF, m.ReadsRaF},
+			{"ReadsRbG", opReadsRbG, m.ReadsRbG},
+			{"ReadsRbF", opReadsRbF, m.ReadsRbF},
+		}
+		for _, f := range flags {
+			if got := info.flags&f.bit != 0; got != f.want {
+				t.Errorf("op %d: table %s = %v, function %v", op, f.name, got, f.want)
+			}
+		}
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		check(op, infoOf(op))
+	}
+	// Out-of-range opcodes must clamp exactly like the functions do.
+	for _, op := range []isa.Op{isa.Op(isa.NumOps), isa.Op(isa.NumOps + 17)} {
+		check(op, infoOf(op))
+	}
+}

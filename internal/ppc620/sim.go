@@ -14,11 +14,17 @@ import (
 
 const unknown = -1
 
-// entry is one dynamic instruction flowing through the machine.
+// entry is one dynamic instruction flowing through the machine. It keeps
+// only the record fields the model consults after fetch (the slab view a
+// record arrived in is recycled long before the entry retires): pc for
+// event tracing, addr/size for the memory disambiguation logic, the
+// register numbers plus the opTab flags for dispatch-time dependence
+// capture, and the pre-resolved latency.
 type entry struct {
-	rec  trace.Record
-	fu   FU
-	pred trace.PredState
+	pc   uint64
+	addr uint64
+
+	idx int // absolute entry index of the current occupant (slot-reuse guard)
 
 	dispatchC int
 	issueC    int
@@ -31,6 +37,16 @@ type entry struct {
 
 	resultReadyC int // cycle dependents may consume the result (unknown until set)
 
+	aliasStore int // conflicting older store detected by the alias logic
+
+	lat   int32
+	flags uint16 // the opTab flag set (read/write/kind bits)
+	fu    FU
+
+	rd, ra, rb isa.Reg
+	size       uint8
+	pred       trace.PredState
+
 	usesRename bool // consumes a GPR rename buffer (compares write CR instead)
 	dispatched bool
 	issued     bool
@@ -41,8 +57,6 @@ type entry struct {
 	isLoad     bool
 	isStore    bool
 	cancelled  bool // constant load whose cache access the CVU cancelled
-
-	aliasStore int // conflicting older store detected by the alias logic
 }
 
 // machine is the live simulation state. Instructions live in a fixed-size
@@ -54,7 +68,7 @@ type entry struct {
 // below the head — see ringSize.
 type machine struct {
 	cfg       Config
-	src       trace.AnnotatedSource
+	slab      *trace.SlabReader
 	annotated bool
 	hier      *cache.Hierarchy
 	bp        *bpred.Predictor
@@ -67,10 +81,42 @@ type machine struct {
 	fetched   int // number fetched so far (fetch buffer tail)
 	liveFloor int // head at the start of the current cycle
 
-	srcDone     bool
-	pending     trace.Record // one-record lookahead, primed before cycle 0
-	pendingPred trace.PredState
-	hasPending  bool
+	srcDone bool
+	// The current slab: fetch consumes curRecs[bi:] record by record. A nil
+	// curPreds means every record in the slab carries PredNone.
+	curRecs  []trace.Record
+	curPreds []trace.PredState
+	bi       int
+
+	// pend lists dispatched-but-not-issued entries in dispatch order — the
+	// only candidates issue must consider (bounded by the completion
+	// buffer, so it never reallocates after construction). Each carries a
+	// conservative earliest-issue bound so entries waiting on long-latency
+	// producers are skipped without touching their ring slots.
+	pend []pendEnt
+
+	// Rename-buffer occupancy, maintained incrementally: allocated at
+	// dispatch, freed at completion (the only two transitions an entry in
+	// [head, dispPtr) can make).
+	renameG, renameF int
+
+	// Per-cycle reservation-station census: rsCount is valid for rsCycle
+	// only, assembled on the cycle's first rsInUse call from three cheap
+	// components — pendFU (unissued entries, maintained at dispatch/issue),
+	// issuedNow (entries that issued this cycle and so still hold their
+	// stations), and the specHeld list (issued entries held by an
+	// unverified speculative source, paper §4.1) — and bumped locally as
+	// entries dispatch within the cycle.
+	rsCount   [NumFU]int
+	rsCycle   int
+	pendFU    [NumFU]int
+	issuedNow [NumFU]int
+	specHeld  []int // absolute indices of issued entries with a spec source
+
+	// headWaitC is the memoized earliest cycle the current head entry can
+	// complete (exact once it has issued: doneC and verifyC never change
+	// after). complete is a no-op until then.
+	headWaitC int
 
 	lastWriterG [isa.NumRegs]int
 	lastWriterF [isa.NumRegs]int
@@ -89,10 +135,34 @@ type machine struct {
 	stats Stats
 }
 
+// pendEnt is one issue candidate: the entry's ring index plus the fields
+// the issue scan needs every cycle (FU for the capacity check, the store
+// bit for the in-order store rule) and notBefore, the earliest cycle the
+// entry could possibly issue. notBefore is sound because a producer's
+// resultReadyC never changes once known, and an unissued producer's result
+// is never ready before the cycle after the current one — so a failed
+// readiness check at cycle c yields a bound of max(c+1, known ready
+// cycles) that skips the re-check (and the entry's cache lines) until it
+// can matter.
+type pendEnt struct {
+	idx       int
+	notBefore int
+	fu        FU
+	isStore   bool
+}
+
 // at returns the ring slot holding absolute entry index i. Valid only while
 // i is within ringSize of the newest fetched entry; the structural bounds in
-// ringSize guarantee that for every consultation the model performs.
-func (m *machine) at(i int) *entry { return &m.entries[i&m.ringMask] }
+// ringSize guarantee that for every consultation the model performs. The
+// len-1 mask form lets the compiler drop the bounds check (the ring length
+// is a power of two).
+func (m *machine) at(i int) *entry {
+	ring := m.entries
+	if len(ring) == 0 {
+		return nil // unreachable: the ring is allocated at construction
+	}
+	return &ring[uint(i)&uint(len(ring)-1)]
+}
 
 // ringSize is the entry-ring capacity for a configuration: the live window
 // holds at most Completion+FetchBuffer entries, dependence capture may
@@ -138,14 +208,16 @@ func SimulateSource(src trace.AnnotatedSource, cfg Config, lvpName string) (Stat
 	return SimulateSourceObs(src, cfg, lvpName, nil)
 }
 
-// SimulateSourceObs is SimulateSource with an event tracer. Batch-capable
-// sources (the fused gen → annotate pipeline, the VLT1 Reader) are
-// re-buffered through a trace.Pump, so the fetch loop's per-record pulls
-// land in a local buffer instead of the upstream interface chain.
+// SimulateSourceObs is SimulateSource with an event tracer. The fetch loop
+// consumes the source slab-at-a-time through a trace.SlabReader: span-capable
+// sources (the in-memory trace) are walked in place with zero copies,
+// batch-capable ones (the fused gen → annotate pipeline, the trace readers)
+// refill a local slab in bulk, and only record-only sources pay per-record
+// interface dispatch.
 func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, obsTr *obs.Tracer) (Stats, error) {
 	m := &machine{
 		cfg:       cfg,
-		src:       trace.Buffer(src),
+		slab:      trace.NewSlabReader(src),
 		annotated: src.Annotated(),
 		hier: &cache.Hierarchy{
 			L1:        cache.MustNew(cfg.L1),
@@ -166,6 +238,11 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 	size := ringSize(cfg)
 	m.entries = make([]entry, size)
 	m.ringMask = size - 1
+	m.pend = make([]pendEnt, 0, cfg.Completion+cfg.DispatchWidth)
+	// Worst case between two sweeps: a full window of spec-held issues
+	// plus a dispatch group, with retired entries not yet swept.
+	m.specHeld = make([]int, 0, 2*cfg.Completion+cfg.DispatchWidth)
+	m.rsCycle = -1
 	if err := m.run(); err != nil {
 		return Stats{}, err
 	}
@@ -176,21 +253,38 @@ func SimulateSourceObs(src trace.AnnotatedSource, cfg Config, lvpName string, ob
 	return m.stats, nil
 }
 
-// prepare resets ring slot e and fills its static fields from record r.
-func (m *machine) prepare(e *entry, r *trace.Record, pred trace.PredState) {
-	*e = entry{}
-	e.rec = *r
-	e.fu = fuOf(r.Op)
-	e.srcA, e.srcB = -1, -1
-	e.specSrc = -1
+// prepare resets ring slot e and fills its static fields from record r, all
+// read from the record's opTab row (a pointer-free memclr plus direct field
+// stores, no isa switches and no whole-record copy).
+func (m *machine) prepare(e *entry, i int, r *trace.Record, pred trace.PredState, info *opInfo) {
+	// Every field is stored explicitly (no struct clear): the stores below
+	// cover exactly the fields some cycle loop may read before writing.
+	// dispatchC/issueC/doneC/readyMax/aliasStore are deliberately left
+	// stale — each is written before its first read for a new occupant
+	// (dispatchC at dispatch, issueC/doneC/readyMax at issue, aliasStore
+	// by storeQueueCheck before the sqAlias path reads it), and every
+	// cross-entry read is guarded by the state bools reset here.
+	e.idx = i
+	f := info.flags
+	e.pc = r.PC
+	e.addr = r.Addr
+	e.size = r.Size
+	e.rd, e.ra, e.rb = r.Rd, r.Ra, r.Rb
+	e.fu = info.fu
+	e.lat = info.lat
+	e.flags = f
+	e.srcA, e.srcB, e.specSrc = -1, -1, -1
 	e.resultReadyC = unknown
 	e.verifyC = unknown
-	in := r.Inst()
-	e.writesGPR = isa.WritesGPR(in) && r.Rd != isa.R0
-	e.writesFPR = isa.WritesFPR(in)
-	e.usesRename = e.writesGPR && !isCompare(r.Op)
-	e.isLoad = r.IsLoad()
-	e.isStore = r.IsStore()
+	e.pred = trace.PredNone
+	e.dispatched, e.issued, e.completed = false, false, false
+	e.mispred, e.cancelled = false, false
+	wg := f&opWritesGPR != 0 && r.Rd != isa.R0
+	e.writesGPR = wg
+	e.writesFPR = f&opWritesFPR != 0
+	e.usesRename = wg && f&opIsCompare == 0
+	e.isLoad = f&opIsLoad != 0
+	e.isStore = f&opIsStore != 0
 	if m.annotated {
 		// Annotations normally cover loads only; AnnotateGeneral also
 		// marks other register-writing instructions, which this model
@@ -251,25 +345,25 @@ func execLatency(op isa.Op) int {
 	}
 }
 
-// prime pulls the first record into the lookahead so an empty source is
-// detected before cycle 0 (an empty run performs zero cycles).
-func (m *machine) prime() error {
-	r, pred, err := m.src.Next()
+// refill loads the next slab into the fetch window's view. srcDone is set
+// once the upstream is exhausted; an empty source is detected by the prime
+// call before cycle 0 (an empty run performs zero cycles).
+func (m *machine) refill() error {
+	recs, preds, err := m.slab.Next()
 	if err == io.EOF {
 		m.srcDone = true
+		m.curRecs, m.curPreds, m.bi = nil, nil, 0
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	m.pending = *r
-	m.pendingPred = pred
-	m.hasPending = true
+	m.curRecs, m.curPreds, m.bi = recs, preds, 0
 	return nil
 }
 
 func (m *machine) run() error {
-	if err := m.prime(); err != nil {
+	if err := m.refill(); err != nil {
 		return err
 	}
 	cycle := 0
@@ -307,30 +401,30 @@ func (m *machine) fetch(cycle int) error {
 	space := m.cfg.FetchBuffer - (m.fetched - m.dispPtr)
 	width := min(m.cfg.FetchWidth, space)
 	for k := 0; k < width && !m.srcDone; k++ {
-		var r *trace.Record
-		var pred trace.PredState
-		if m.hasPending {
-			r, pred = &m.pending, m.pendingPred
-			m.hasPending = false
-		} else {
-			nr, np, err := m.src.Next()
-			if err == io.EOF {
-				m.srcDone = true
-				return nil
-			}
-			if err != nil {
+		if m.bi >= len(m.curRecs) {
+			if err := m.refill(); err != nil {
 				return err
 			}
-			r, pred = nr, np
+			if m.srcDone {
+				return nil
+			}
 		}
+		r := &m.curRecs[m.bi]
+		pred := trace.PredNone
+		if m.curPreds != nil {
+			pred = m.curPreds[m.bi]
+		}
+		m.bi++
 		i := m.fetched
 		e := m.at(i)
-		m.prepare(e, r, pred)
+		info := infoOf(r.Op)
+		m.prepare(e, i, r, pred, info)
 		m.fetched++
-		// Branch prediction happens at fetch; a mispredicted branch
-		// stalls further fetch until it resolves.
-		if e.rec.IsBranch() {
-			if m.bp.Resolve(&e.rec) {
+		// Branch prediction happens at fetch, against the slab record
+		// (still valid here); a mispredicted branch stalls further fetch
+		// until it resolves.
+		if info.flags&opIsBranch != 0 {
+			if m.bp.Resolve(r) {
 				e.mispred = true
 				m.fetchStallEntry = i
 				return nil
@@ -360,11 +454,11 @@ func (m *machine) dispatch(cycle int) {
 			m.stats.StallRS[e.fu]++
 			return
 		}
-		if e.usesRename && m.renameInUse(false) >= m.cfg.GPRRename {
+		if e.usesRename && m.renameG >= m.cfg.GPRRename {
 			m.stats.StallRename++
 			return
 		}
-		if e.writesFPR && m.renameInUse(true) >= m.cfg.FPRRename {
+		if e.writesFPR && m.renameF >= m.cfg.FPRRename {
 			m.stats.StallRename++
 			return
 		}
@@ -382,43 +476,39 @@ func (m *machine) dispatch(cycle int) {
 			}
 		}
 
-		// Dependence capture. Producers completed before this cycle are
-		// dead for both readiness (their result is long available) and
-		// spec-tag propagation (their verification is in the past), so
-		// only entries at or above the cycle's live floor are consulted
-		// — which also keeps every consulted index within the ring.
-		r := &e.rec
-		var srcs [4]isa.RegRef
-		for _, ref := range isa.Sources(r.Inst(), srcs[:0]) {
-			var p int
-			if ref.FP {
-				p = m.lastWriterF[ref.Reg]
-			} else if ref.Reg != isa.R0 {
-				p = m.lastWriterG[ref.Reg]
-			} else {
-				p = -1
+		// Dependence capture, driven by the opcode's read flags in
+		// isa.Sources order (Ra before Rb). Producers completed before
+		// this cycle are dead for both readiness (their result is long
+		// available) and spec-tag propagation (their verification is in
+		// the past), so only entries at or above the cycle's live floor
+		// are consulted — which also keeps every consulted index within
+		// the ring.
+		if f := e.flags; f&opReadsAny != 0 {
+			if f&opReadsRaF != 0 {
+				m.captureSrc(e, m.lastWriterF[e.ra], cycle)
+			} else if f&opReadsRaG != 0 && e.ra != isa.R0 {
+				m.captureSrc(e, m.lastWriterG[e.ra], cycle)
 			}
-			if p < m.liveFloor {
-				continue
-			}
-			if e.srcA < 0 {
-				e.srcA = p
-			} else if p != e.srcA {
-				e.srcB = p
-			}
-			// Speculative-value tag propagation (paper §4.1).
-			if tag := m.specTagOf(p, cycle); tag >= 0 {
-				e.specSrc = tag
+			if f&opReadsRbF != 0 {
+				m.captureSrc(e, m.lastWriterF[e.rb], cycle)
+			} else if f&opReadsRbG != 0 && e.rb != isa.R0 {
+				m.captureSrc(e, m.lastWriterG[e.rb], cycle)
 			}
 		}
 
 		e.dispatched = true
 		e.dispatchC = cycle
+		m.rsCount[e.fu]++ // newly dispatched: holds its reservation station
+		m.pendFU[e.fu]++
+		if e.usesRename {
+			m.renameG++
+		}
 		if e.writesGPR {
-			m.lastWriterG[r.Rd] = i
+			m.lastWriterG[e.rd] = i
 		}
 		if e.writesFPR {
-			m.lastWriterF[r.Rd] = i
+			m.renameF++
+			m.lastWriterF[e.rd] = i
 		}
 		// A predicted instruction forwards its value at dispatch.
 		if e.pred == trace.PredCorrect || e.pred == trace.PredConstant {
@@ -430,7 +520,24 @@ func (m *machine) dispatch(cycle int) {
 		if e.isStore {
 			stores++
 		}
+		m.pend = append(m.pend, pendEnt{idx: i, fu: e.fu, isStore: e.isStore})
 		m.dispPtr++
+	}
+}
+
+// captureSrc records producer p as a source of e if p is still live, and
+// propagates the speculative-value tag (paper §4.1).
+func (m *machine) captureSrc(e *entry, p, cycle int) {
+	if p < m.liveFloor {
+		return
+	}
+	if e.srcA < 0 {
+		e.srcA = p
+	} else if p != e.srcA {
+		e.srcB = p
+	}
+	if tag := m.specTagOf(p, cycle); tag >= 0 {
+		e.specSrc = tag
 	}
 }
 
@@ -455,67 +562,50 @@ func (m *machine) specTagOf(p, cycle int) int {
 	return -1
 }
 
-// rsInUse counts reservation-station entries held for one FU type.
-func (m *machine) rsInUse(f FU, cycle int) int {
-	n := 0
-	for i := m.head; i < m.dispPtr; i++ {
-		e := m.at(i)
-		if e.fu != f || !e.dispatched || e.completed {
-			continue
-		}
-		if m.holdsRS(e, cycle) {
-			n++
-		}
-	}
-	return n
-}
-
-// holdsRS reports whether a dispatched entry still occupies its reservation
-// station: until the cycle after issue, and — when it consumed a
+// rsInUse counts reservation-station entries held for one FU type. An entry
+// holds its station until the cycle after issue, and — when it consumed a
 // speculatively-forwarded value — until that value is verified (paper §4.1).
-func (m *machine) holdsRS(e *entry, cycle int) bool {
-	if !e.issued {
-		return true
-	}
-	if cycle <= e.issueC {
-		return true
-	}
-	if e.specSrc >= 0 {
-		le := m.at(e.specSrc)
-		if le.verifyC == unknown || cycle <= le.verifyC {
-			return true
+// The census is memoized per cycle and assembled from incremental state:
+// pendFU covers the unissued entries, issuedNow the entries whose issue
+// cycle is this cycle, and the specHeld list the (rare) issued entries
+// behind an unverified speculative source. The memo is sound because rsInUse
+// is called only from dispatch, which runs after complete and issue — no
+// station-holding state changes between calls within a cycle except the
+// dispatches the counter tracks directly.
+func (m *machine) rsInUse(f FU, cycle int) int {
+	if m.rsCycle != cycle {
+		m.rsCount = m.pendFU
+		for fu, n := range m.issuedNow {
+			m.rsCount[fu] += n
 		}
-	}
-	return false
-}
-
-// renameInUse counts rename buffers held (allocated at dispatch, freed at
-// completion).
-func (m *machine) renameInUse(fp bool) int {
-	n := 0
-	for i := m.head; i < m.dispPtr; i++ {
-		e := m.at(i)
-		if e.completed {
-			continue
+		live := m.specHeld[:0]
+		for _, i := range m.specHeld {
+			e := m.at(i)
+			if e.idx != i || e.completed {
+				continue // slot reused, or retired (never holds again)
+			}
+			if e.issueC == cycle {
+				live = append(live, i) // already counted via issuedNow
+				continue
+			}
+			le := m.at(e.specSrc)
+			if le.idx != e.specSrc || (le.verifyC != unknown && cycle > le.verifyC) {
+				continue // verification passed: the hold has expired for good
+			}
+			m.rsCount[e.fu]++
+			live = append(live, i)
 		}
-		if (fp && e.writesFPR) || (!fp && e.usesRename) {
-			n++
-		}
+		m.specHeld = live
+		m.rsCycle = cycle
 	}
-	return n
+	return m.rsCount[f]
 }
 
 // --- issue & execute ---
 
 func (m *machine) issue(cycle int) {
 	var issuedPerFU [NumFU]int
-	capacity := [NumFU]int{
-		SCFX: m.cfg.Units[SCFX],
-		MCFX: m.cfg.Units[MCFX],
-		FPU:  m.cfg.Units[FPU],
-		LSU:  m.cfg.Units[LSU],
-		BRU:  m.cfg.Units[BRU],
-	}
+	capacity := m.cfg.Units
 	if m.mcfxBusyUntil > cycle {
 		capacity[MCFX] = 0
 	}
@@ -525,57 +615,90 @@ func (m *machine) issue(cycle int) {
 	// Stores issue in order among stores; loads may issue past older
 	// stores with unknown addresses — the 620's store-to-load alias
 	// detection refetches them when a conflict materialises (§4.1).
+	// Only dispatched-but-not-issued entries are candidates; pend holds
+	// exactly those, in dispatch order, and is compacted in place as
+	// entries issue (issued entries never set storeBlocked, so dropping
+	// them preserves the store-ordering side effects of a full scan).
 	storeBlocked := false
-	for i := m.head; i < m.dispPtr; i++ {
-		e := m.at(i)
-		if !e.dispatched || e.issued {
-			if e.isStore && !e.issued {
-				storeBlocked = true
+	w := 0 // in-place compaction: entries that issue are dropped
+	for k := 0; k < len(m.pend); k++ {
+		pe := &m.pend[k]
+		if cycle >= pe.notBefore {
+			if issuedPerFU[pe.fu] < capacity[pe.fu] && !(pe.isStore && storeBlocked) {
+				e := m.at(pe.idx)
+				if nb := m.operandsReady(e, cycle); nb <= cycle {
+					m.execute(e, pe.idx, cycle)
+					issuedPerFU[pe.fu]++
+					m.pendFU[pe.fu]--
+					if e.specSrc >= 0 {
+						m.specHeld = append(m.specHeld, pe.idx)
+					}
+					continue // issued: not kept
+				} else {
+					pe.notBefore = nb
+				}
 			}
-			continue
 		}
-		if issuedPerFU[e.fu] >= capacity[e.fu] {
-			if e.isStore {
-				storeBlocked = true
-			}
-			continue
+		// Not issued this cycle: an unissued older store blocks younger
+		// stores (in-order store issue), whatever the reason it waits.
+		if pe.isStore {
+			storeBlocked = true
 		}
-		if e.isStore && storeBlocked {
-			continue
+		if w != k {
+			m.pend[w] = *pe
 		}
-		if !m.operandsReady(e, cycle) {
-			if e.isStore {
-				storeBlocked = true
-			}
-			continue
-		}
-		m.execute(i, cycle)
-		issuedPerFU[e.fu]++
+		w++
 	}
+	m.pend = m.pend[:w]
+	m.issuedNow = issuedPerFU
 }
 
-// operandsReady also records the Figure 8 dependency-wait when it becomes
-// known.
-func (m *machine) operandsReady(e *entry, cycle int) bool {
+// operandsReady reports when the entry's operands permit issue: a return
+// value equal to cycle means ready now (recording the Figure 8
+// dependency-wait), a larger value is the earliest cycle a re-check could
+// succeed — exact when every producer's ready cycle is known, cycle+1 when
+// a producer has not yet issued (its result is never ready before the
+// cycle after it issues). A producer's resultReadyC never changes once
+// known, so the bound stays valid for pendEnt caching.
+func (m *machine) operandsReady(e *entry, cycle int) int {
 	ready := e.dispatchC
-	for _, p := range [2]int{e.srcA, e.srcB} {
-		if p < 0 {
-			continue
-		}
-		pr := m.at(p).resultReadyC
-		if pr == unknown || pr > cycle {
-			return false
-		}
-		if pr > ready {
+	nb := cycle
+	if p := e.srcA; p >= 0 {
+		switch pr := m.at(p).resultReadyC; {
+		case pr == unknown:
+			if nb == cycle {
+				nb = cycle + 1
+			}
+		case pr > cycle:
+			if pr > nb {
+				nb = pr
+			}
+		case pr > ready:
 			ready = pr
 		}
 	}
+	if p := e.srcB; p >= 0 {
+		switch pr := m.at(p).resultReadyC; {
+		case pr == unknown:
+			if nb == cycle {
+				nb = cycle + 1
+			}
+		case pr > cycle:
+			if pr > nb {
+				nb = pr
+			}
+		case pr > ready:
+			ready = pr
+		}
+	}
+	if nb > cycle {
+		return nb
+	}
 	e.readyMax = ready
-	return true
+	return cycle
 }
 
-func (m *machine) execute(i, cycle int) {
-	e := m.at(i)
+func (m *machine) execute(e *entry, i, cycle int) {
 	e.issued = true
 	e.issueC = cycle
 	m.stats.RSWaitSum[e.fu] += int64(max(0, e.readyMax-e.dispatchC))
@@ -583,14 +706,13 @@ func (m *machine) execute(i, cycle int) {
 
 	switch {
 	case e.isLoad:
-		m.executeLoad(i, cycle)
+		m.executeLoad(e, i, cycle)
 	case e.isStore:
 		// Address generation; the cache write happens at completion.
 		e.doneC = cycle + 1
 		e.resultReadyC = e.doneC
 	default:
-		lat := execLatency(e.rec.Op)
-		e.doneC = cycle + lat
+		e.doneC = cycle + int(e.lat)
 		switch e.pred {
 		case trace.PredCorrect:
 			// Forwarded at dispatch; verified one cycle after the
@@ -611,16 +733,15 @@ func (m *machine) execute(i, cycle int) {
 		case MCFX:
 			m.mcfxBusyUntil = e.doneC // non-pipelined
 		case FPU:
-			if isa.ClassOf(e.rec.Op) == isa.ClassComplexFP {
+			if e.flags&opNonPipeFP != 0 {
 				m.fpuBusyUntil = e.doneC // FDIV/FSQRT are non-pipelined
 			}
 		}
 	}
 }
 
-func (m *machine) executeLoad(i, cycle int) {
-	e := m.at(i)
-	addr := e.rec.Addr
+func (m *machine) executeLoad(e *entry, i, cycle int) {
+	addr := e.addr
 
 	// Check the uncommitted store queue. An older overlapping store that
 	// has executed forwards its data (1 cycle). One that has not yet
@@ -647,9 +768,9 @@ func (m *machine) executeLoad(i, cycle int) {
 		m.stats.AliasRefetches++
 		if m.otr.Enabled(obs.ChanSim) {
 			m.otr.Emit(obs.ChanSim, "alias-refetch",
-				slog.String("pc", fmt.Sprintf("%#x", e.rec.PC)),
-				slog.String("addr", fmt.Sprintf("%#x", e.rec.Addr)),
-				slog.String("store_pc", fmt.Sprintf("%#x", st.rec.PC)),
+				slog.String("pc", fmt.Sprintf("%#x", e.pc)),
+				slog.String("addr", fmt.Sprintf("%#x", e.addr)),
+				slog.String("store_pc", fmt.Sprintf("%#x", st.pc)),
 				slog.Int("cycle", cycle))
 		}
 		e.doneC = avail
@@ -782,7 +903,7 @@ func (m *machine) storeQueueCheck(i, cycle int) sqResult {
 		if !o.isStore || o.completed {
 			continue
 		}
-		if !rangesOverlap(o.rec.Addr, int(o.rec.Size), e.rec.Addr, int(e.rec.Size)) {
+		if !rangesOverlap(o.addr, int(o.size), e.addr, int(e.size)) {
 			continue
 		}
 		if o.issued && o.doneC <= cycle {
@@ -814,18 +935,28 @@ func (m *machine) noteConflict(cycle int) {
 // --- completion ---
 
 func (m *machine) complete(cycle int) {
+	if cycle < m.headWaitC {
+		return // the head entry's completion cycle is known and not yet here
+	}
 	for k := 0; k < m.cfg.CompleteWidth && m.head < m.dispPtr; k++ {
 		e := m.at(m.head)
-		if !e.issued || cycle < e.doneC {
+		if !e.issued {
 			return
 		}
-		if e.verifyC != unknown && cycle < e.verifyC {
-			return // loads complete only after verification
+		if cycle < e.doneC || (e.verifyC != unknown && cycle < e.verifyC) {
+			// Once issued, doneC and verifyC are final: the head cannot
+			// complete before their max, so skip the scan until then.
+			b := e.doneC
+			if e.verifyC != unknown && e.verifyC > b {
+				b = e.verifyC
+			}
+			m.headWaitC = b
+			return
 		}
 		if e.isStore {
 			// Commit the store: the cache is written now, using a
 			// bank port (Figure 9's conflict source).
-			bank := m.hier.L1.Bank(e.rec.Addr)
+			bank := m.hier.L1.Bank(e.addr)
 			slot := &m.bankRing[cycle&(len(m.bankRing)-1)][bank]
 			if *slot >= 1 {
 				// Port busy: the store retries next cycle
@@ -835,9 +966,15 @@ func (m *machine) complete(cycle int) {
 			}
 			*slot++
 			m.stats.CacheAccesses++
-			m.hier.Access(e.rec.Addr)
+			m.hier.Access(e.addr)
 		}
 		e.completed = true
+		if e.usesRename {
+			m.renameG--
+		}
+		if e.writesFPR {
+			m.renameF--
+		}
 		m.head++
 	}
 }

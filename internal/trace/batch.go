@@ -36,6 +36,102 @@ type AnnotatedBatchSource interface {
 	NextBatch(recs []Record, states []PredState) (int, error)
 }
 
+// AnnotatedSpanSource is an annotated source that can hand over
+// internally-owned runs of records without copying: NextSpan returns the
+// next non-empty run and its parallel prediction states. A nil states slice
+// means every record in the run carries PredNone (the un-annotated case,
+// saving a dead per-record state array). The returned slices are owned by
+// the source and valid only until the next NextSpan call. Returns
+// (nil, nil, io.EOF) once the stream is exhausted; an error may follow
+// already-delivered spans.
+//
+// In-memory sources (Trace.StreamAnnotated) satisfy this by returning views
+// of their backing arrays, which lets the machine models' batch loops run
+// over the trace with zero per-record interface calls and zero copies.
+type AnnotatedSpanSource interface {
+	AnnotatedSource
+	NextSpan() ([]Record, []PredState, error)
+}
+
+// SlabReader adapts any AnnotatedSource for slab-at-a-time consumption: each
+// Next hands the caller a view of the next run of records and states. It
+// picks the cheapest path the source supports — zero-copy spans, bulk
+// NextBatch refills into an internal slab, or a record-at-a-time gather —
+// so the timing models' fetch loops are written once against slabs and pay
+// per-record interface dispatch only when the source offers nothing better.
+// Errors follow the Pump discipline: records delivered before a decode
+// failure are always handed over first; the error surfaces on the following
+// Next call.
+type SlabReader struct {
+	src    AnnotatedSource
+	batch  AnnotatedBatchSource
+	span   AnnotatedSpanSource
+	recs   [pumpBatch]Record
+	states [pumpBatch]PredState
+	err    error // pending error, delivered after the current slab drains
+}
+
+// NewSlabReader returns a SlabReader over src.
+func NewSlabReader(src AnnotatedSource) *SlabReader {
+	sr := &SlabReader{src: src}
+	if sp, ok := src.(AnnotatedSpanSource); ok {
+		sr.span = sp
+	} else if bs, ok := src.(AnnotatedBatchSource); ok {
+		sr.batch = bs
+	}
+	return sr
+}
+
+// Annotated reports whether the underlying source carries LVP annotations.
+func (s *SlabReader) Annotated() bool { return s.src.Annotated() }
+
+// Next returns the next non-empty slab of records and their states; a nil
+// states slice means every record in the slab is PredNone. The slices are
+// valid until the following Next call. io.EOF after the final slab.
+func (s *SlabReader) Next() ([]Record, []PredState, error) {
+	if s.err != nil {
+		err := s.err
+		s.err = nil
+		return nil, nil, err
+	}
+	switch {
+	case s.span != nil:
+		recs, states, err := s.span.NextSpan()
+		if len(recs) == 0 {
+			if err == nil {
+				err = io.EOF
+			}
+			return nil, nil, err
+		}
+		s.err = err
+		return recs, states, nil
+	case s.batch != nil:
+		n, err := s.batch.NextBatch(s.recs[:], s.states[:])
+		if n == 0 {
+			if err == nil {
+				err = io.EOF // a (0, nil) source would otherwise spin
+			}
+			return nil, nil, err
+		}
+		s.err = err
+		return s.recs[:n], s.states[:n], nil
+	}
+	n := 0
+	for n < len(s.recs) {
+		r, pred, err := s.src.Next()
+		if err != nil {
+			if n == 0 {
+				return nil, nil, err
+			}
+			s.err = err
+			break
+		}
+		s.recs[n], s.states[n] = *r, pred
+		n++
+	}
+	return s.recs[:n], s.states[:n], nil
+}
+
 // maxEncodedRecord bounds one VLT1 record's encoding: a 6-byte fixed
 // header, up to two 10-byte varints (pc delta, imm), and at most one of
 // {size byte + addr + value uvarints, value uvarint [+ target uvarint]} —

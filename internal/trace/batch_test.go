@@ -208,10 +208,19 @@ func TestPumpDeliversRecordsBeforeError(t *testing.T) {
 	}
 }
 
+// recordOnlySource strips a source down to the bare AnnotatedSource methods,
+// hiding any batch/span capability of the wrapped source.
+type recordOnlySource struct {
+	src AnnotatedSource
+}
+
+func (s recordOnlySource) Next() (*Record, PredState, error) { return s.src.Next() }
+func (s recordOnlySource) Annotated() bool                   { return s.src.Annotated() }
+
 // TestBufferPassthrough: a per-record-only source must come back unchanged.
 func TestBufferPassthrough(t *testing.T) {
 	tr := genTrace(8)
-	src := tr.StreamAnnotated(nil)
+	src := recordOnlySource{tr.StreamAnnotated(nil)}
 	if got := Buffer(src); got != src {
 		t.Fatal("Buffer must return per-record sources unchanged")
 	}

@@ -75,6 +75,39 @@ func (s *annotatedSlice) Next() (*Record, PredState, error) {
 
 func (s *annotatedSlice) Annotated() bool { return s.ann != nil }
 
+// NextBatch copies up to len(recs) records (and their states) in bulk.
+func (s *annotatedSlice) NextBatch(recs []Record, states []PredState) (int, error) {
+	if s.i >= len(s.t.Records) {
+		return 0, io.EOF
+	}
+	n := copy(recs, s.t.Records[s.i:])
+	if s.ann != nil {
+		copy(states[:n], s.ann[s.i:s.i+n])
+	} else {
+		for i := range states[:n] {
+			states[i] = PredNone
+		}
+	}
+	s.i += n
+	return n, nil
+}
+
+// NextSpan hands over the remaining records and states as zero-copy views of
+// the trace's own backing arrays (nil states when un-annotated), so batch
+// consumers walk the in-memory trace without a single per-record call.
+func (s *annotatedSlice) NextSpan() ([]Record, []PredState, error) {
+	if s.i >= len(s.t.Records) {
+		return nil, nil, io.EOF
+	}
+	recs := s.t.Records[s.i:]
+	var states []PredState
+	if s.ann != nil {
+		states = s.ann[s.i:]
+	}
+	s.i = len(s.t.Records)
+	return recs, states, nil
+}
+
 // StreamAnnotated returns an AnnotatedSource pairing t's records with ann.
 // A nil ann models a machine without LVP hardware.
 func (t *Trace) StreamAnnotated(ann Annotation) AnnotatedSource {

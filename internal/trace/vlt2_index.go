@@ -192,7 +192,10 @@ func (ir *IndexedReader) open(size int64) error {
 		if off != wantOff {
 			return fmt.Errorf("%w: index entry %d offset %d overlaps or skips (want %d)", ErrCorrupt, i, off, wantOff)
 		}
-		if sz < hdrMin2 || off+sz > ir.fOff {
+		// Compare in subtracted form: off+sz can wrap uint64 on a hostile
+		// footer, but off == wantOff <= fOff holds inductively, so the
+		// remaining span fOff-off never underflows.
+		if sz < hdrMin2 || sz > ir.fOff-off {
 			return fmt.Errorf("%w: index entry %d size %d out of range", ErrCorrupt, i, sz)
 		}
 		if count < 1 || count > MaxBlockRecords {

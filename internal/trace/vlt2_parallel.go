@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"lvp/internal/par"
@@ -44,6 +45,13 @@ type ParallelReader struct {
 	quit    chan struct{}
 	slabs   sync.Pool
 
+	// Serial degrade (see Parallel): blocks decode inline in fetchBlock,
+	// in index order, through one private slab — no goroutines, no
+	// channels, same stream and same error surface.
+	serial bool
+	snext  int     // next block index to decode
+	sslab  parSlab // the single decode slab
+
 	cur    parBlock
 	curOff int
 	read   uint64
@@ -57,9 +65,18 @@ type ParallelReader struct {
 // concurrent ReadAt calls; os.File and bytes.Reader both do, and the mmap
 // path reads shared immutable memory. ir's cursor state is not touched, but
 // its metrics counters aggregate both readers' traffic.
+//
+// When the resolved worker count is one — or the process itself has only
+// one scheduling slot (GOMAXPROCS == 1), where fan-out buys nothing and
+// costs channel hops — the reader degrades to an indexed serial decode:
+// identical record stream, identical error surface, zero goroutines.
+// Serial reports which regime was selected.
 func (ir *IndexedReader) Parallel(workers int) *ParallelReader {
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
+	}
+	if workers <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		return &ParallelReader{ir: ir, serial: true}
 	}
 	pr := &ParallelReader{
 		ir:   ir,
@@ -73,6 +90,9 @@ func (ir *IndexedReader) Parallel(workers int) *ParallelReader {
 	go pr.produce()
 	return pr
 }
+
+// Serial reports whether the reader degraded to inline serial decoding.
+func (pr *ParallelReader) Serial() bool { return pr.serial }
 
 // produce walks the block index in order, handing each block a private
 // one-slot result channel (enqueued in index order) and a pool task that
@@ -89,25 +109,56 @@ func (pr *ParallelReader) produce() {
 		}
 		pr.pool.Go(func() error {
 			s := pr.slabs.Get().(*parSlab)
-			pr.ir.m.busy.Acquire()
-			err := pr.ir.stageBlock(i, &s.fetch, &s.blockBuf, &s.dec, &pr.ir.m)
-			if err == nil {
-				s.recs = growRecords(s.recs, s.dec.remaining())
-				var n int
-				for n < len(s.recs) && err == nil {
-					var k int
-					k, err = s.dec.decodeInto(s.recs[n:])
-					n += k
-				}
-				if err != nil {
-					err = fmt.Errorf("trace: vlt2 block %d: %w", i, err)
-				}
-			}
-			pr.ir.m.busy.Release()
+			err := pr.decodeBlock(i, s)
 			c <- parBlock{recs: s.recs, err: err, slab: s}
 			return nil
 		})
 	}
+}
+
+// decodeBlock stages block i and decodes it fully into s.recs, shared by the
+// pool workers and the serial degrade so both regimes produce the same
+// stream and the same errors (stage failures pass through, decode failures
+// carry the block-indexed wrap).
+func (pr *ParallelReader) decodeBlock(i int, s *parSlab) error {
+	pr.ir.m.busy.Acquire()
+	defer pr.ir.m.busy.Release()
+	err := pr.ir.stageBlock(i, &s.fetch, &s.blockBuf, &s.dec, &pr.ir.m)
+	if err != nil {
+		return err
+	}
+	s.recs = growRecords(s.recs, s.dec.remaining())
+	var n int
+	for n < len(s.recs) && err == nil {
+		var k int
+		k, err = s.dec.decodeInto(s.recs[n:])
+		n += k
+	}
+	if err != nil {
+		return fmt.Errorf("trace: vlt2 block %d: %w", i, err)
+	}
+	return nil
+}
+
+// fetchBlock delivers the next block in index order: decoded inline in the
+// serial regime, received from the ordered result channels otherwise. ok is
+// false at end of stream.
+func (pr *ParallelReader) fetchBlock() (parBlock, bool) {
+	if pr.serial {
+		if pr.snext >= len(pr.ir.idx) {
+			return parBlock{}, false
+		}
+		i := pr.snext
+		pr.snext++
+		s := &pr.sslab
+		err := pr.decodeBlock(i, s)
+		return parBlock{recs: s.recs, err: err}, true
+	}
+	c, ok := <-pr.results
+	if !ok {
+		return parBlock{}, false
+	}
+	return <-c, true
 }
 
 // growRecords returns r resized to n, reusing capacity when it can.
@@ -163,11 +214,10 @@ func (pr *ParallelReader) NextBlock() ([]Record, error) {
 			pr.cur = parBlock{}
 			pr.curOff = 0
 		}
-		c, ok := <-pr.results
+		pb, ok := pr.fetchBlock()
 		if !ok {
 			return nil, io.EOF
 		}
-		pb := <-c
 		if pb.err != nil {
 			pr.err = pb.err
 			pr.shutdown()
@@ -199,11 +249,10 @@ func (pr *ParallelReader) NextBatch(buf []Record) (int, error) {
 				pr.cur = parBlock{}
 				pr.curOff = 0
 			}
-			c, ok := <-pr.results
+			pb, ok := pr.fetchBlock()
 			if !ok {
 				break
 			}
-			pb := <-c
 			if pb.err != nil {
 				pr.err = pb.err
 				pr.shutdown()
@@ -234,6 +283,9 @@ func (pr *ParallelReader) shutdown() {
 		return
 	}
 	pr.closed = true
+	if pr.serial {
+		return // nothing in flight: no producer, no workers
+	}
 	close(pr.quit)
 	// Workers send into one-slot buffered channels, so they never block;
 	// draining the ordered channel stream releases everything in flight.

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestParallelSerialDegrade pins the worker-resolution rule: one worker (or
+// a single-slot process) degrades to inline serial decode, more than one on
+// a multi-slot process stays parallel — and the serial regime must deliver
+// exactly the encoded record stream with a clean EOF and idempotent Close.
+func TestParallelSerialDegrade(t *testing.T) {
+	want := genRecords(3000, 17)
+	enc := encodeVLT2(&Trace{Name: "serial", Target: "ppc", Records: want},
+		Writer2Options{BlockRecords: 128})
+
+	// The degrade decision reads GOMAXPROCS, so pin both regimes
+	// explicitly rather than inheriting the host's setting.
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(2)
+	for _, tc := range []struct {
+		workers int
+		serial  bool
+	}{
+		{1, true},  // explicit single worker
+		{2, false}, // real fan-out
+		{16, false},
+	} {
+		ir, err := NewIndexedReaderBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := ir.Parallel(tc.workers)
+		if pr.Serial() != tc.serial {
+			t.Errorf("GOMAXPROCS=2 workers=%d: Serial() = %v, want %v",
+				tc.workers, pr.Serial(), tc.serial)
+		}
+		pr.Close()
+	}
+
+	runtime.GOMAXPROCS(1)
+	ir, err := NewIndexedReaderBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := ir.Parallel(8)
+	if !pr.Serial() {
+		t.Error("GOMAXPROCS=1 workers=8: want serial degrade")
+	}
+
+	// The degraded reader must still be a full Decoder: same stream, same
+	// terminal EOF, and Close must stay a no-op afterwards.
+	var got []Record
+	buf := make([]Record, 257)
+	for {
+		n, err := pr.NextBatch(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("serial degrade: decoded records differ from the encoded stream")
+	}
+	if _, err := pr.NextBatch(buf); err != io.EOF {
+		t.Fatalf("after drain: want io.EOF, got %v", err)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
